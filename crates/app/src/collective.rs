@@ -1,0 +1,101 @@
+//! The dissemination collective (Figure 7c).
+//!
+//! The paper models `MPI_AllReduce` with the dissemination algorithm
+//! (Hensgen, Finkel & Manber '88): `ceil(log2 N)` rounds in which node `i`
+//! sends to `(i + 2^k) mod N` and proceeds once it receives the round-`k`
+//! message from `(i - 2^k) mod N`. Topology-agnostic, latency-bound, and a
+//! true barrier: completing the final round transitively implies every
+//! node entered the collective.
+
+/// The dissemination schedule for `n` participants.
+#[derive(Clone, Copy, Debug)]
+pub struct Dissemination {
+    n: usize,
+    rounds: u32,
+}
+
+impl Dissemination {
+    /// Schedule for `n >= 1` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Dissemination {
+            n,
+            rounds: (usize::BITS - (n - 1).leading_zeros()).max(0),
+        }
+    }
+
+    /// Number of rounds (`ceil(log2 n)`, 0 for a single node).
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Peer node `i` sends to in round `k`.
+    pub fn send_peer(&self, i: usize, k: u32) -> usize {
+        debug_assert!(k < self.rounds.max(1));
+        (i + (1usize << k)) % self.n
+    }
+
+    /// Peer node `i` receives from in round `k`.
+    pub fn recv_peer(&self, i: usize, k: u32) -> usize {
+        let step = (1usize << k) % self.n;
+        (i + self.n - step) % self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(Dissemination::new(1).rounds(), 0);
+        assert_eq!(Dissemination::new(2).rounds(), 1);
+        assert_eq!(Dissemination::new(5).rounds(), 3);
+        assert_eq!(Dissemination::new(256).rounds(), 8);
+        assert_eq!(Dissemination::new(4096).rounds(), 12);
+    }
+
+    #[test]
+    fn send_recv_are_inverse() {
+        let d = Dissemination::new(37);
+        for k in 0..d.rounds() {
+            for i in 0..37 {
+                let to = d.send_peer(i, k);
+                assert_eq!(d.recv_peer(to, k), i, "round {k} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_zero_is_plus_minus_one() {
+        let d = Dissemination::new(16);
+        assert_eq!(d.send_peer(3, 0), 4);
+        assert_eq!(d.recv_peer(3, 0), 2);
+        assert_eq!(d.send_peer(15, 0), 0, "wraps around");
+    }
+
+    /// Barrier property: the union of receive dependencies over all rounds
+    /// reaches every node (so finishing implies everyone participated).
+    #[test]
+    fn dependency_closure_covers_all_nodes() {
+        let n = 20;
+        let d = Dissemination::new(n);
+        for i in 0..n {
+            let mut reached = std::collections::HashSet::from([i]);
+            let mut frontier = vec![i];
+            for k in (0..d.rounds()).rev() {
+                // Node j's round-k completion depends on recv_peer(j, k)'s
+                // round-(k-1) completion.
+                let mut next = frontier.clone();
+                for &j in &frontier {
+                    let dep = d.recv_peer(j, k);
+                    if reached.insert(dep) {
+                        next.push(dep);
+                    }
+                }
+                frontier = next;
+            }
+            assert_eq!(reached.len(), n, "node {i} misses dependencies");
+        }
+    }
+}

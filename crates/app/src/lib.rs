@@ -1,0 +1,19 @@
+//! # hxapp — the 27-point stencil application model
+//!
+//! Reproduces the paper's Section 6.2 workload: a physics-style stencil
+//! discretization whose nodes iterate `compute(); exchange(); collective()`
+//! with zero compute time, a 100 kB aggregate halo exchange over 26
+//! face/edge/corner neighbors, and a dissemination-algorithm collective.
+//! The workload stresses exactly what Figure 8 measures: bandwidth-bound
+//! hot-spots during exchanges and latency-bound minimal paths during
+//! collectives, switching rapidly between the two.
+
+mod collective;
+mod engine;
+mod placement;
+mod stencil;
+
+pub use collective::Dissemination;
+pub use engine::{PhaseMode, StencilApp, StencilConfig, StencilMetrics};
+pub use placement::Placement;
+pub use stencil::{Neighbor, NeighborKind, StencilGrid};

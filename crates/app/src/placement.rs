@@ -1,0 +1,68 @@
+//! Process-to-terminal placement policies.
+//!
+//! The paper's stencil simulations "use a random placement policy to assign
+//! stencil sub-cubes to network endpoints" (Section 6.2); linear placement
+//! is provided for controlled comparisons and tests.
+
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// How stencil processes map onto network terminals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Process `i` on terminal `i`.
+    Linear,
+    /// A seeded random permutation (the paper's policy).
+    Random(u64),
+}
+
+impl Placement {
+    /// Builds the process -> terminal map for `procs` processes over
+    /// `terminals` endpoints (`procs <= terminals`).
+    pub fn build(self, procs: usize, terminals: usize) -> Vec<u32> {
+        assert!(procs <= terminals, "{procs} processes > {terminals} terminals");
+        match self {
+            Placement::Linear => (0..procs as u32).collect(),
+            Placement::Random(seed) => {
+                let mut slots: Vec<u32> = (0..terminals as u32).collect();
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D);
+                slots.shuffle(&mut rng);
+                slots.truncate(procs);
+                slots
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(Placement::Linear.build(4, 8), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_injective_and_in_range() {
+        let m = Placement::Random(7).build(64, 128);
+        let set: std::collections::HashSet<u32> = m.iter().copied().collect();
+        assert_eq!(set.len(), 64, "placement must be injective");
+        assert!(m.iter().all(|&t| t < 128));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_seed_sensitive() {
+        let a = Placement::Random(1).build(32, 32);
+        let b = Placement::Random(1).build(32, 32);
+        let c = Placement::Random(2).build(32, 32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "processes")]
+    fn too_many_processes_panics() {
+        Placement::Linear.build(9, 8);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the stencil application model.
+
+use hxapp::{Dissemination, Placement, StencilGrid};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Halo neighbor lists: no self-sends, no duplicates, sizes bounded by
+    /// 26, and the byte total never exceeds the requested aggregate.
+    #[test]
+    fn halo_neighbors_are_sane(
+        px in 1usize..=5,
+        py in 1usize..=5,
+        pz in 1usize..=5,
+        total in 1u64..1_000_000,
+        n in 1usize..=16,
+        p_seed in any::<u64>(),
+    ) {
+        let g = StencilGrid::new(px, py, pz);
+        let p = (p_seed % g.num_procs() as u64) as usize;
+        let nbs = g.halo_neighbors(p, total, n);
+        prop_assert!(nbs.len() <= 26);
+        let mut seen = std::collections::HashSet::new();
+        for nb in &nbs {
+            prop_assert!(nb.proc as usize != p, "self-send");
+            prop_assert!((nb.proc as usize) < g.num_procs());
+            prop_assert!(seen.insert(nb.proc), "duplicate neighbor");
+            prop_assert!(nb.bytes >= 1);
+        }
+        let sum: u64 = nbs.iter().map(|nb| nb.bytes).sum();
+        // Aliased offsets merge (each rounded to >= 1 byte), so the sum can
+        // only exceed `total` by the per-offset rounding of 26 offsets.
+        prop_assert!(sum <= total + 26, "sum {sum} > total {total}");
+    }
+
+    /// Halo exchange symmetry: if q is a neighbor of p, then p is a
+    /// neighbor of q with the same message size (periodic grids are
+    /// translation-symmetric).
+    #[test]
+    fn halo_exchange_is_symmetric(
+        px in 1usize..=4,
+        py in 1usize..=4,
+        pz in 1usize..=4,
+        p_seed in any::<u64>(),
+    ) {
+        let g = StencilGrid::new(px, py, pz);
+        let p = (p_seed % g.num_procs() as u64) as usize;
+        for nb in g.halo_neighbors(p, 100_000, 8) {
+            let back = g.halo_neighbors(nb.proc as usize, 100_000, 8);
+            let found = back.iter().find(|b| b.proc as usize == p);
+            prop_assert!(found.is_some(), "asymmetric neighborhood");
+            prop_assert_eq!(found.unwrap().bytes, nb.bytes, "asymmetric sizes");
+        }
+    }
+
+    /// Every node sends and receives exactly once per dissemination round.
+    #[test]
+    fn dissemination_rounds_are_permutations(n in 2usize..200) {
+        let d = Dissemination::new(n);
+        for k in 0..d.rounds() {
+            let mut recv_seen = vec![false; n];
+            for i in 0..n {
+                let to = d.send_peer(i, k);
+                prop_assert!(!recv_seen[to], "round {k}: {to} receives twice");
+                recv_seen[to] = true;
+            }
+            prop_assert!(recv_seen.into_iter().all(|s| s));
+        }
+    }
+
+    /// Random placement is always an injection into the terminal range.
+    #[test]
+    fn placement_injective(
+        procs in 1usize..300,
+        extra in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let terminals = procs + extra;
+        let m = Placement::Random(seed).build(procs, terminals);
+        prop_assert_eq!(m.len(), procs);
+        let set: std::collections::HashSet<u32> = m.iter().copied().collect();
+        prop_assert_eq!(set.len(), procs);
+        prop_assert!(m.iter().all(|&t| (t as usize) < terminals));
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: whole-network simulation throughput
+//! (cycles/second) under moderate uniform-random load, per routing
+//! algorithm — the cost of the cycle-accurate substrate itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hxcore::hyperx_algorithm;
+use hxsim::{Sim, SimConfig};
+use hxtopo::{HyperX, Topology};
+use hxtraffic::{SyntheticWorkload, UniformRandom};
+use std::hint::black_box;
+
+fn bench_network_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cycles");
+    group.sample_size(10);
+    for name in ["DOR", "UGAL", "DimWAR", "OmniWAR"] {
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_with_input(BenchmarkId::new("ur50", name), &name, |b, name| {
+            let hx = Arc::new(HyperX::uniform(3, 4, 4));
+            let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+                hyperx_algorithm(name, hx.clone(), 8).unwrap().into();
+            let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 3);
+            let pattern = Arc::new(UniformRandom::new(hx.num_terminals()));
+            let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), 0.5, 3);
+            // Warm the network into steady state once.
+            sim.run(&mut traffic, 3_000);
+            b.iter(|| {
+                sim.run(&mut traffic, 1_000);
+                black_box(sim.stats.total_delivered_flits);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_empty_network(c: &mut Criterion) {
+    // The skip-idle fast path: an empty network should tick very fast.
+    c.bench_function("network_cycles/idle", |b| {
+        let hx = Arc::new(HyperX::uniform(3, 4, 4));
+        let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+            hyperx_algorithm("DimWAR", hx.clone(), 8).unwrap().into();
+        let mut sim = Sim::new(hx, algo, SimConfig::default(), 3);
+        b.iter(|| {
+            sim.run(&mut hxsim::IdleWorkload, 1_000);
+            black_box(sim.now);
+        });
+    });
+}
+
+criterion_group!(benches, bench_network_tick, bench_empty_network);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: pure routing-decision cost per algorithm.
+//!
+//! This is the silicon-complexity proxy the paper's Section 5.4 discusses:
+//! DimWAR and OmniWAR must be cheap enough to run at every hop of every
+//! packet. Measured against a mock congestion view on the paper's 8x8x8
+//! topology, both idle and congested.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hxcore::{hyperx_algorithm, mock::MockView, PacketRouteState, RouteCtx, HYPERX_ALGORITHMS};
+use hxtopo::{HyperX, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_route_decisions(c: &mut Criterion) {
+    let hx = Arc::new(HyperX::uniform(3, 8, 8));
+    let mut idle = MockView::idle(hx.max_ports(), 8, 160);
+    let mut congested = MockView::idle(hx.max_ports(), 8, 160);
+    for p in 0..hx.max_ports() {
+        congested.congest_port(p, (p * 13) % 120);
+        congested.queues[p] = (p * 7) % 40;
+    }
+    idle.queues[9] = 1; // tiny asymmetry so nothing is constant-folded
+
+    let mut group = c.benchmark_group("route_decision");
+    for name in HYPERX_ALGORITHMS {
+        let algo = hyperx_algorithm(name, hx.clone(), 8).unwrap();
+        for (view_name, view) in [("idle", &idle), ("congested", &congested)] {
+            let view: &MockView = view;
+            group.bench_function(BenchmarkId::new(*name, view_name), |b| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut out = Vec::with_capacity(32);
+                let mut dst = 100usize;
+                b.iter(|| {
+                    dst = (dst * 31 + 7) % hx.num_routers();
+                    let dst_router = if dst == 0 { 1 } else { dst };
+                    let ctx = RouteCtx {
+                        router: 0,
+                        input_port: 0,
+                        input_vc: 0,
+                        from_terminal: true,
+                        dst_router,
+                        dst_terminal: dst_router * 8,
+                        pkt_len: 8,
+                        state: PacketRouteState::default(),
+                        view,
+                    };
+                    out.clear();
+                    algo.route(&ctx, &mut rng, &mut out);
+                    black_box(&out);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_decisions);
+criterion_main!(benches);

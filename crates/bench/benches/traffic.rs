@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: traffic-pattern destination selection,
+//! stencil neighbor generation, and topology queries.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hxapp::StencilGrid;
+use hxtopo::{HyperX, Topology};
+use hxtraffic::pattern_by_name;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_patterns(c: &mut Criterion) {
+    let hx = Arc::new(HyperX::uniform(3, 8, 8));
+    let mut group = c.benchmark_group("pattern_dest");
+    for name in ["UR", "BC", "URBy", "S2", "DCR"] {
+        let p = pattern_by_name(name, hx.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut src = 0usize;
+            b.iter(|| {
+                src = (src + 37) % 4096;
+                black_box(p.dest(src, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stencil_neighbors(c: &mut Criterion) {
+    let grid = StencilGrid::near_cubic(4096);
+    c.bench_function("stencil_halo_neighbors", |b| {
+        let mut p = 0usize;
+        b.iter(|| {
+            p = (p + 101) % grid.num_procs();
+            black_box(grid.halo_neighbors(p, 100_000, 8));
+        });
+    });
+}
+
+fn bench_topology_queries(c: &mut Criterion) {
+    let hx = HyperX::uniform(3, 8, 8);
+    c.bench_function("hyperx_min_hops", |b| {
+        let mut x = 1usize;
+        b.iter(|| {
+            x = (x * 131 + 7) % 512;
+            black_box(hx.min_router_hops(x, 511 - x));
+        });
+    });
+    c.bench_function("hyperx_port_target", |b| {
+        let mut x = 1usize;
+        b.iter(|| {
+            x = (x * 131 + 7) % 512;
+            black_box(hx.port_target(x, 8 + x % 21));
+        });
+    });
+}
+
+criterion_group!(benches, bench_patterns, bench_stencil_neighbors, bench_topology_queries);
+criterion_main!(benches);

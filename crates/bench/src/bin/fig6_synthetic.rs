@@ -1,0 +1,155 @@
+//! Figure 6 — steady-state synthetic traffic: load/latency curves for the
+//! six Table 3 patterns under each routing algorithm (6a-6f), plus the
+//! saturation-throughput comparison chart (6g).
+//!
+//! ```text
+//! cargo run --release -p hxbench --bin fig6_synthetic -- \
+//!     [--pattern UR|BC|URBx|URBy|S2|DCR|all] [--algos DOR,VAL,...] \
+//!     [--step 0.1] [--max-load 1.0] [--full] [--seed 1] [--json out.jsonl]
+//! ```
+//!
+//! Default is the reduced 256-node network with a 10% load grid; `--full`
+//! runs the paper's 4,096-node 8x8x8 (expect hours of CPU — use the
+//! parallel sweep's full-machine occupancy) and `--step 0.02` matches the
+//! paper's 2% granularity.
+
+use std::sync::Arc;
+
+use hxbench::{
+    evaluation_config, evaluation_hyperx, parallel_map, render_table, write_jsonl, Args,
+};
+use hxcore::hyperx_algorithm;
+use hxsim::{run_steady_state, Sim, SteadyOpts};
+use hxtopo::Topology;
+use hxtraffic::{pattern_by_name, SyntheticWorkload, FIG6_PATTERNS};
+use serde::Serialize;
+
+const DEFAULT_ALGOS: &[&str] = &["DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR"];
+
+#[derive(Serialize, Clone)]
+struct Row {
+    pattern: String,
+    algo: String,
+    offered: f64,
+    accepted: f64,
+    mean_latency: f64,
+    p99_latency: f64,
+    mean_hops: f64,
+    saturated: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.full_scale();
+    let seed: u64 = args.get_or("seed", 1);
+    let step: f64 = args.get_or("step", 0.10);
+    let max_load: f64 = args.get_or("max-load", 1.0);
+    let patterns: Vec<String> = match args.get("pattern") {
+        Some("all") | None => FIG6_PATTERNS.iter().map(|s| s.to_string()).collect(),
+        Some(p) => vec![p.to_string()],
+    };
+    let algos: Vec<String> = args
+        .get("algos")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| DEFAULT_ALGOS.iter().map(|s| s.to_string()).collect());
+
+    let hx = evaluation_hyperx(full);
+    let cfg = evaluation_config();
+    let opts = SteadyOpts::default();
+
+    // Build the work list: every (pattern, algo, load).
+    let mut work = Vec::new();
+    let mut load = step;
+    while load <= max_load + 1e-9 {
+        for p in &patterns {
+            for a in &algos {
+                work.push((p.clone(), a.clone(), (load * 1000.0).round() / 1000.0));
+            }
+        }
+        load += step;
+    }
+    eprintln!(
+        "fig6: {} runs on {} ({} terminals), {} threads",
+        work.len(),
+        hx.name(),
+        hx.num_terminals(),
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+
+    let rows: Vec<Row> = parallel_map(work, |(pattern, algo_name, load)| {
+        let algo: Arc<dyn hxcore::RoutingAlgorithm> = hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
+            .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
+            .into();
+        let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
+        let pat = pattern_by_name(&pattern, hx.clone())
+            .unwrap_or_else(|| panic!("unknown pattern {pattern}"));
+        let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, seed);
+        let point = run_steady_state(&mut sim, &mut traffic, load, opts);
+        Row {
+            pattern,
+            algo: algo_name,
+            offered: point.offered,
+            accepted: point.accepted,
+            mean_latency: point.mean_latency,
+            p99_latency: point.p99_latency,
+            mean_hops: point.mean_hops,
+            saturated: point.saturated,
+        }
+    });
+
+    // 6a-6f: one latency-vs-load table per pattern (saturated points marked).
+    for pattern in &patterns {
+        let mut header = vec!["load".to_string()];
+        header.extend(algos.iter().cloned());
+        let mut loads: Vec<f64> = rows
+            .iter()
+            .filter(|r| &r.pattern == pattern)
+            .map(|r| r.offered)
+            .collect();
+        loads.sort_by(f64::total_cmp);
+        loads.dedup();
+        let table: Vec<Vec<String>> = loads
+            .iter()
+            .map(|&l| {
+                let mut line = vec![format!("{l:.2}")];
+                for a in &algos {
+                    let r = rows
+                        .iter()
+                        .find(|r| &r.pattern == pattern && &r.algo == a && r.offered == l)
+                        .expect("missing row");
+                    line.push(if r.saturated {
+                        format!("sat({:.2})", r.accepted)
+                    } else {
+                        format!("{:.0}", r.mean_latency)
+                    });
+                }
+                line
+            })
+            .collect();
+        println!("\nFigure 6 ({pattern}): mean latency [cycles] vs offered load; 'sat(x)' = saturated, accepting x");
+        println!("{}", render_table(&header, &table));
+    }
+
+    // 6g: achieved throughput = accepted at the highest offered load.
+    let mut header = vec!["pattern".to_string()];
+    header.extend(algos.iter().cloned());
+    let table: Vec<Vec<String>> = patterns
+        .iter()
+        .map(|p| {
+            let mut line = vec![p.clone()];
+            for a in &algos {
+                let best = rows
+                    .iter()
+                    .filter(|r| &r.pattern == p && &r.algo == a)
+                    .max_by(|x, y| x.offered.total_cmp(&y.offered))
+                    .expect("missing row");
+                line.push(format!("{:.3}", best.accepted));
+            }
+            line
+        })
+        .collect();
+    println!("\nFigure 6g: achieved throughput (flits/terminal/cycle at max offered load)");
+    println!("{}", render_table(&header, &table));
+
+    write_jsonl(args.get("json"), &rows);
+}

@@ -1,0 +1,221 @@
+//! # hxbench — experiment harnesses for every table and figure
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig2_scalability`  | Figure 2 — max nodes vs router radix |
+//! | `fig3_cabling`      | Figure 3 — Dragonfly:HyperX cabling cost |
+//! | `fig4_topologies`   | Figure 4 — stencil time across topologies |
+//! | `fig6_synthetic`    | Figure 6 — load/latency + throughput summary |
+//! | `fig8_stencil`      | Figure 8 — stencil phase execution times |
+//! | `tab1_comparison`   | Table 1 — implementation requirements |
+//! | `sec42_atomic_queue`| Section 4.2 — atomic-allocation ceiling |
+//!
+//! Each accepts `--full` to run the paper's 4,096-node configuration
+//! (default is a reduced 256-node network that preserves the qualitative
+//! shapes), `--seed N`, and `--json PATH` for machine-readable output.
+//! This library holds the shared plumbing: a dependency-free CLI parser,
+//! a crossbeam-based parallel sweep runner, and table/JSONL formatting.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hxsim::SimConfig;
+use hxtopo::HyperX;
+use parking_lot::Mutex;
+
+/// Minimal `--key value` / `--flag` command-line parser.
+pub struct Args {
+    named: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    pub fn from_iter(items: impl IntoIterator<Item = String>) -> Self {
+        let mut named = HashMap::new();
+        let mut flags = Vec::new();
+        let mut items = items.into_iter().peekable();
+        while let Some(a) = items.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match items.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        named.insert(key.to_string(), items.next().unwrap());
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            }
+        }
+        Args { named, flags }
+    }
+
+    /// Value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.named.get(key).map(String::as_str)
+    }
+
+    /// Whether `--flag` was passed (with no value).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parsed value of `--key`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Whether the paper-scale configuration was requested (`--full` or
+    /// `HX_FULL=1`).
+    pub fn full_scale(&self) -> bool {
+        self.flag("full") || std::env::var("HX_FULL").is_ok_and(|v| v == "1")
+    }
+}
+
+/// The evaluated HyperX network: the paper's 8x8x8 with 8 terminals per
+/// router (4,096 nodes) at full scale, a 4x4x4 with 4 terminals per router
+/// (256 nodes) by default.
+pub fn evaluation_hyperx(full: bool) -> Arc<HyperX> {
+    if full {
+        Arc::new(HyperX::uniform(3, 8, 8))
+    } else {
+        Arc::new(HyperX::uniform(3, 4, 4))
+    }
+}
+
+/// The paper's Section 6 simulator configuration.
+pub fn evaluation_config() -> SimConfig {
+    SimConfig::default()
+}
+
+/// Order-preserving parallel map over `items`, using all cores (crossbeam
+/// scoped threads pulling work off a shared index).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().take().expect("work item taken twice");
+                let r = f(item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing result"))
+        .collect()
+}
+
+/// Writes serializable rows as JSON lines to `path` (if given).
+pub fn write_jsonl<T: serde::Serialize>(path: Option<&str>, rows: &[T]) {
+    let Some(path) = path else { return };
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for row in rows {
+        serde_json::to_writer(&mut f, row).expect("serialize row");
+        writeln!(f).expect("write row");
+    }
+    eprintln!("wrote {} rows to {path}", rows.len());
+}
+
+/// Renders a fixed-width text table.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_named_and_flags() {
+        let a = args("--pattern UR --full --seed 7");
+        assert_eq!(a.get("pattern"), Some("UR"));
+        assert!(a.flag("full"));
+        assert_eq!(a.get_or("seed", 0u64), 7);
+        assert_eq!(a.get_or("missing", 42u64), 42);
+        assert!(!a.flag("json"));
+    }
+
+    #[test]
+    fn trailing_flag_parses() {
+        let a = args("--verbose");
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "20".into()]],
+        );
+        assert!(t.contains(" a  bb"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn evaluation_sizes() {
+        use hxtopo::Topology;
+        assert_eq!(evaluation_hyperx(false).num_terminals(), 256);
+        assert_eq!(evaluation_hyperx(true).num_terminals(), 4096);
+    }
+}

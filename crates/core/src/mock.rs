@@ -1,0 +1,59 @@
+//! A table-driven [`RouterView`] for unit tests and micro-benchmarks.
+//!
+//! Lets tests assert adaptive behaviour ("given this congestion, the
+//! algorithm deroutes") without spinning up the cycle-accurate simulator,
+//! and lets the Criterion benches measure pure routing-decision cost.
+
+use crate::api::RouterView;
+
+/// A fully materialized congestion state for one router.
+#[derive(Clone, Debug)]
+pub struct MockView {
+    vcs: usize,
+    cap: usize,
+    /// `occ[port][vc]` — downstream occupancy in flits.
+    pub occ: Vec<Vec<usize>>,
+    /// Output queue backlog per port.
+    pub queues: Vec<usize>,
+    /// Whether `(port, vc)` is claimed by an in-flight packet.
+    pub claimed: Vec<Vec<bool>>,
+}
+
+impl MockView {
+    /// An idle router: all buffers empty, nothing claimed.
+    pub fn idle(ports: usize, vcs: usize, cap: usize) -> Self {
+        MockView {
+            vcs,
+            cap,
+            occ: vec![vec![0; vcs]; ports],
+            queues: vec![0; ports],
+            claimed: vec![vec![false; vcs]; ports],
+        }
+    }
+
+    /// Sets every VC of `port` to `occ` occupied flits.
+    pub fn congest_port(&mut self, port: usize, occ: usize) {
+        assert!(occ <= self.cap);
+        for vc in 0..self.vcs {
+            self.occ[port][vc] = occ;
+        }
+    }
+}
+
+impl RouterView for MockView {
+    fn num_vcs(&self) -> usize {
+        self.vcs
+    }
+    fn free_space(&self, port: usize, vc: usize) -> usize {
+        self.cap - self.occ[port][vc]
+    }
+    fn capacity(&self, _port: usize, _vc: usize) -> usize {
+        self.cap
+    }
+    fn vc_claimed(&self, port: usize, vc: usize) -> bool {
+        self.claimed[port][vc]
+    }
+    fn queue_len(&self, port: usize) -> usize {
+        self.queues[port]
+    }
+}

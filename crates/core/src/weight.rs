@@ -1,0 +1,119 @@
+//! The `congestion x hopcount` weight function shared by all adaptive
+//! algorithms (paper Sections 5.1 step 3 and 5.2 step 4).
+
+use crate::api::{ClassMap, RouterView};
+
+/// Congestion estimate of sending through `port`: the total downstream
+/// buffer occupancy across *all* VCs of the port plus the backlog of the
+/// output queue feeding it. Units are flits.
+///
+/// Port-level (rather than per-VC-class) sensing matches the paper's
+/// routers, which "assess all valid outputs with their current detected
+/// congestion": the channel drains every VC at the same 1 flit/cycle, so
+/// the queued work ahead of a new flit is the whole port's backlog. This
+/// is also what gives source-adaptive routing its characteristic blindness
+/// on URBy (Figure 6d): remote congestion back-pressures *all* of the
+/// source's first-hop ports equally, so the minimal path never looks worse
+/// than the Valiant one and UGAL degenerates to DOR.
+#[inline]
+pub fn port_congestion(view: &dyn RouterView, port: usize) -> u64 {
+    let occ: u64 = (0..view.num_vcs())
+        .map(|vc| view.occupancy(port, vc) as u64)
+        .sum();
+    occ + view.queue_len(port) as u64
+}
+
+/// Congestion estimate for a specific `(port, class)` candidate: the
+/// larger of the port-level pressure ([`port_congestion`]) and the
+/// candidate class's own pressure scaled to the port range.
+///
+/// The class term matters for algorithms whose resource classes own few
+/// VCs (OmniWAR's distance classes own exactly one): a full class is a
+/// full channel *for this packet* even while the port's other VCs sit
+/// idle, so without it the congestion signal saturates at
+/// `class_vcs / num_vcs` of its true level and the algorithm under-
+/// deroutes (visible as S2 throughput loss). The port term preserves the
+/// source-adaptive blindness property above: back-pressure seen by *any*
+/// class of a port is pressure for all of them.
+#[inline]
+pub fn candidate_congestion(
+    view: &dyn RouterView,
+    port: usize,
+    map: &ClassMap,
+    class: usize,
+) -> u64 {
+    let vcs = map.vcs_of(class);
+    let n = vcs.len() as u64;
+    let occ_cls: u64 = vcs.map(|vc| view.occupancy(port, vc) as u64).sum();
+    let class_pressure =
+        occ_cls * view.num_vcs() as u64 / n.max(1) + view.queue_len(port) as u64;
+    class_pressure.max(port_congestion(view, port))
+}
+
+/// Fixed per-hop latency folded into the weight, in cycles: roughly one
+/// channel traversal (50) plus one crossbar traversal (50) at the paper's
+/// timing. This is the "tuning" the paper alludes to (Section 6.2: "all 4
+/// adaptive routing algorithms have been tuned to react quickly to
+/// change"): without a fixed-latency term, a single queued flit of
+/// congestion difference would trigger a deroute whose extra hop costs
+/// ~100 cycles — adaptive algorithms would burn bandwidth and latency on
+/// transient noise and lose to DOR on latency-sensitive phases.
+pub const HOP_LATENCY: u64 = 100;
+
+/// The latency estimate all adaptive algorithms minimize:
+/// `(congestion + HOP_LATENCY) x hopcount`.
+///
+/// `hops` is the total remaining hop count *including* the candidate hop.
+/// The congestion term is the paper's `congestion x hopcount`; the
+/// `HOP_LATENCY x hopcount` term accounts for the pipeline latency of the
+/// hops themselves, so in an idle network minimal paths strictly win and a
+/// deroute is only taken once the minimal path's queueing exceeds about
+/// one hop's worth of latency.
+#[inline]
+pub fn weight(congestion: u64, hops: usize) -> u64 {
+    (congestion + HOP_LATENCY) * hops as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockView;
+
+    #[test]
+    fn idle_congestion_is_zero() {
+        let v = MockView::idle(4, 8, 16);
+        assert_eq!(port_congestion(&v, 0), 0);
+        assert_eq!(port_congestion(&v, 3), 0);
+    }
+
+    #[test]
+    fn congestion_sums_all_vcs() {
+        let mut v = MockView::idle(2, 4, 16);
+        v.occ[1][0] = 8;
+        v.occ[1][1] = 4;
+        assert_eq!(port_congestion(&v, 1), 12);
+        assert_eq!(port_congestion(&v, 0), 0);
+    }
+
+    #[test]
+    fn congestion_includes_output_queue() {
+        let mut v = MockView::idle(2, 4, 16);
+        v.queues[0] = 5;
+        v.occ[0][2] = 3;
+        assert_eq!(port_congestion(&v, 0), 8);
+    }
+
+    #[test]
+    fn weight_combines_congestion_and_hop_latency() {
+        assert_eq!(weight(0, 3), HOP_LATENCY * 3);
+        assert_eq!(weight(7, 2), (7 + HOP_LATENCY) * 2);
+        assert_eq!(weight(3, 0), 0);
+    }
+
+    #[test]
+    fn idle_minimal_strictly_beats_idle_deroute() {
+        // The tuning property: at zero congestion, fewer hops wins by a
+        // full HOP_LATENCY margin, not just a tie-break.
+        assert!(weight(0, 3) + HOP_LATENCY <= weight(0, 4));
+    }
+}

@@ -1,0 +1,20 @@
+//! # hxcost — analytic cost and scalability models
+//!
+//! Regenerates the paper's motivation figures: the scalability comparison
+//! (Figure 2) and the cabling-cost analysis showing that passive optical
+//! cabling erases the Dragonfly's historical ~10% cost advantage over
+//! HyperX (Figure 3). The paper's vendor-confidential cable quotes are
+//! substituted with representative public-shape prices (see DESIGN.md);
+//! lengths come from an explicit rack-level placement of every router.
+
+mod bom;
+mod cable;
+mod layout;
+mod scalability;
+
+pub use bom::{
+    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes, CablingBom,
+};
+pub use cable::{CableTech, PriceModel};
+pub use layout::FloorPlan;
+pub use scalability::{scalability_sweep, ScalePoint};

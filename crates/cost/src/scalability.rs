@@ -1,0 +1,93 @@
+//! Scalability analysis (Figure 2): maximum network size per router radix
+//! for each topology family at >= 50% relative bisection.
+
+use hxtopo::{best_hyperx, dragonfly_design, fattree_max_terminals};
+
+/// One point of the Figure 2 plot.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Router radix (ports).
+    pub radix: usize,
+    /// Max terminals per topology family, with the network diameter (in
+    /// router-to-router traversals) the paper annotates each curve with.
+    pub entries: Vec<(String, usize, usize)>,
+}
+
+/// Computes the Figure 2 series over a radix sweep.
+pub fn scalability_sweep(radices: &[usize]) -> Vec<ScalePoint> {
+    radices
+        .iter()
+        .map(|&radix| {
+            let mut entries = Vec::new();
+            for dims in 1..=4usize {
+                if let Some(d) = best_hyperx(radix, dims) {
+                    entries.push((format!("HyperX-{dims}D"), dims, d.terminals));
+                }
+            }
+            if let Some(df) = dragonfly_design(radix) {
+                entries.push(("Dragonfly".into(), 3, df.terminals));
+            }
+            entries.push(("FatTree-3L".into(), 4, fattree_max_terminals(radix, 3)));
+            // Reorder as (name, diameter, terminals).
+            ScalePoint {
+                radix,
+                entries: entries
+                    .into_iter()
+                    .map(|(name, diam, terms)| (name, diam, terms))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_radix64_points() {
+        let sweep = scalability_sweep(&[64]);
+        let p = &sweep[0];
+        let get = |name: &str| {
+            p.entries
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|&(_, _, t)| t)
+                .unwrap()
+        };
+        assert_eq!(get("HyperX-2D"), 10_648);
+        assert_eq!(get("HyperX-3D"), 78_608);
+        assert!(get("HyperX-4D") > 400_000);
+        assert_eq!(get("Dragonfly"), 262_656);
+        assert_eq!(get("FatTree-3L"), 65_536);
+    }
+
+    #[test]
+    fn all_series_monotone_in_radix() {
+        let sweep = scalability_sweep(&[16, 32, 48, 64, 96, 128]);
+        for series in ["HyperX-2D", "HyperX-3D", "Dragonfly", "FatTree-3L"] {
+            let mut last = 0;
+            for p in &sweep {
+                if let Some(&(_, _, t)) = p.entries.iter().find(|(n, _, _)| n == series) {
+                    assert!(t >= last, "{series} shrank at radix {}", p.radix);
+                    last = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_dimensions_scale_further_at_large_radix() {
+        let sweep = scalability_sweep(&[64]);
+        let p = &sweep[0];
+        let t = |name: &str| {
+            p.entries
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|&(_, _, t)| t)
+                .unwrap()
+        };
+        assert!(t("HyperX-2D") < t("HyperX-3D"));
+        assert!(t("HyperX-3D") < t("HyperX-4D"));
+    }
+}

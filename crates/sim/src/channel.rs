@@ -1,0 +1,144 @@
+//! Fixed-latency channels: a flit pipeline one way and a credit pipeline
+//! back the other way.
+//!
+//! Bandwidth is one flit per cycle (enforced by the sender, which calls
+//! [`Channel::send_flit`] at most once per cycle per channel); latency is
+//! the configured cable delay. Credits ride a paired wire with the same
+//! delay, so the credit round trip is `2 x latency + receiver dwell time`.
+
+use std::collections::VecDeque;
+
+use crate::packet::Flit;
+
+/// A directed channel plus its reverse credit wire.
+#[derive(Debug)]
+pub struct Channel {
+    latency: u64,
+    flits: VecDeque<(u64, Flit, u8)>,
+    credits: VecDeque<(u64, u8)>,
+}
+
+impl Channel {
+    /// Creates a channel with the given one-way latency (>= 1 cycle).
+    pub fn new(latency: u64) -> Self {
+        assert!(latency >= 1, "zero-latency channels break cycle ordering");
+        Channel {
+            latency,
+            flits: VecDeque::new(),
+            credits: VecDeque::new(),
+        }
+    }
+
+    /// One-way latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Sender side: puts a flit on the wire at cycle `now`, tagged with the
+    /// downstream VC it will occupy.
+    #[inline]
+    pub fn send_flit(&mut self, now: u64, flit: Flit, vc: u8) {
+        debug_assert!(
+            self.flits.back().map_or(true, |&(t, _, _)| t < now + self.latency),
+            "channel bandwidth exceeded (two flits in one cycle)"
+        );
+        self.flits.push_back((now + self.latency, flit, vc));
+    }
+
+    /// Receiver side: drains every flit that has arrived by `now`.
+    #[inline]
+    pub fn recv_flits(&mut self, now: u64, mut f: impl FnMut(Flit, u8)) {
+        while let Some(&(t, flit, vc)) = self.flits.front() {
+            if t > now {
+                break;
+            }
+            self.flits.pop_front();
+            f(flit, vc);
+        }
+    }
+
+    /// Receiver side: returns one credit for `vc` to the sender.
+    #[inline]
+    pub fn send_credit(&mut self, now: u64, vc: u8) {
+        self.credits.push_back((now + self.latency, vc));
+    }
+
+    /// Sender side: drains every credit that has arrived by `now`.
+    #[inline]
+    pub fn recv_credits(&mut self, now: u64, mut f: impl FnMut(u8)) {
+        while let Some(&(t, vc)) = self.credits.front() {
+            if t > now {
+                break;
+            }
+            self.credits.pop_front();
+            f(vc);
+        }
+    }
+
+    /// Whether anything is in flight (either direction).
+    pub fn is_idle(&self) -> bool {
+        self.flits.is_empty() && self.credits.is_empty()
+    }
+
+    /// Flits currently in flight (test/invariant support).
+    pub fn flits_in_flight(&self) -> impl Iterator<Item = (Flit, u8)> + '_ {
+        self.flits.iter().map(|&(_, f, vc)| (f, vc))
+    }
+
+    /// Credits currently in flight (test/invariant support).
+    pub fn credits_in_flight(&self) -> impl Iterator<Item = u8> + '_ {
+        self.credits.iter().map(|&(_, vc)| vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(idx: u16) -> Flit {
+        Flit { pkt: 0, idx, len: 4 }
+    }
+
+    #[test]
+    fn flits_arrive_after_latency() {
+        let mut ch = Channel::new(5);
+        ch.send_flit(10, flit(0), 2);
+        let mut got = Vec::new();
+        ch.recv_flits(14, |f, vc| got.push((f, vc)));
+        assert!(got.is_empty(), "arrived early");
+        ch.recv_flits(15, |f, vc| got.push((f, vc)));
+        assert_eq!(got, vec![(flit(0), 2)]);
+    }
+
+    #[test]
+    fn flits_preserve_order() {
+        let mut ch = Channel::new(3);
+        for i in 0..4 {
+            ch.send_flit(i as u64, flit(i), 0);
+        }
+        let mut got = Vec::new();
+        ch.recv_flits(100, |f, _| got.push(f.idx));
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn credits_flow_backwards_with_latency() {
+        let mut ch = Channel::new(7);
+        ch.send_credit(0, 3);
+        let mut got = Vec::new();
+        ch.recv_credits(6, |vc| got.push(vc));
+        assert!(got.is_empty());
+        ch.recv_credits(7, |vc| got.push(vc));
+        assert_eq!(got, vec![3]);
+        assert!(ch.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth exceeded")]
+    #[cfg(debug_assertions)]
+    fn two_flits_same_cycle_panics() {
+        let mut ch = Channel::new(2);
+        ch.send_flit(0, flit(0), 0);
+        ch.send_flit(0, flit(1), 0);
+    }
+}

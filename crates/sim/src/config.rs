@@ -1,0 +1,131 @@
+//! Simulator configuration.
+
+/// Timing and buffering parameters of the simulated network.
+///
+/// One simulator cycle equals one nanosecond at the paper's flit rate; the
+/// defaults reproduce the Section 6 experimental setup: 8 VCs, 50 ns
+/// router-to-router channels (10 m), 5 ns router-to-terminal channels
+/// (1 m), 50 ns crossbar traversal, and per-VC input buffers sized so a
+/// port's aggregate buffering covers more than the credit round trip
+/// without becoming so deep that congestion back-pressure turns mushy.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Virtual channels per port.
+    pub num_vcs: usize,
+    /// Input buffer depth per VC, in flits. Must be at least
+    /// `max_packet_flits` (virtual cut-through reserves whole packets).
+    pub buf_flits: usize,
+    /// Crossbar traversal latency in cycles.
+    pub crossbar_latency: u64,
+    /// Internal datapath speedup: flits each input port may forward into
+    /// the crossbar per cycle. The paper's CIOQ router has "sufficient
+    /// speedup to ensure the internal router datapath is not a
+    /// bottleneck"; without it, buffered bursts drain at line rate and a
+    /// packet's virtual-cut-through claim on its downstream VC stretches
+    /// out, strangling algorithms whose resource classes own few VCs.
+    pub crossbar_speedup: usize,
+    /// Router-to-router channel latency in cycles (long cables, e.g. the
+    /// 10 m HyperX links or Dragonfly globals).
+    pub router_chan_latency: u64,
+    /// Short router-to-router channel latency in cycles (e.g. intra-group
+    /// Dragonfly locals, intra-pod fat-tree links).
+    pub short_chan_latency: u64,
+    /// Router-to-terminal channel latency in cycles.
+    pub term_chan_latency: u64,
+    /// Largest packet the network carries, in flits.
+    pub max_packet_flits: usize,
+    /// Per-terminal source-queue capacity in packets: above-saturation
+    /// open-loop traffic parks excess packets here and further generation
+    /// is refused until space frees (a finite-NIC-queue model that bounds
+    /// memory; accepted-throughput measurement is unaffected).
+    pub max_source_queue: usize,
+    /// Atomic queue allocation (Section 4.2): a packet may claim a
+    /// downstream VC only when that VC is *completely empty*. Models the
+    /// escape-path requirement that makes DAL impractical; caps channel
+    /// utilization at `PktSize x NumVcs / CreditRoundTrip`.
+    pub atomic_queue_alloc: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_vcs: 8,
+            buf_flits: 160,
+            crossbar_latency: 50,
+            crossbar_speedup: 4,
+            router_chan_latency: 50,
+            short_chan_latency: 10,
+            term_chan_latency: 5,
+            max_packet_flits: 16,
+            max_source_queue: 256,
+            atomic_queue_alloc: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates internal consistency (buffer must hold a whole packet).
+    pub fn validate(&self) {
+        assert!(self.num_vcs >= 1, "need at least one VC");
+        assert!(
+            self.buf_flits >= self.max_packet_flits,
+            "virtual cut-through needs buf_flits ({}) >= max_packet_flits ({})",
+            self.buf_flits,
+            self.max_packet_flits
+        );
+        assert!(self.max_packet_flits >= 1);
+    }
+
+    /// Approximate credit round-trip latency in cycles for a
+    /// router-to-router hop: channel there + crossbar + channel back, plus
+    /// a couple of cycles of router pipelining. Used by the Section 4.2
+    /// analytic model.
+    pub fn credit_round_trip(&self) -> u64 {
+        self.router_chan_latency + self.crossbar_latency + self.router_chan_latency + 2
+    }
+
+    /// The Section 4.2 throughput ceiling under atomic queue allocation:
+    /// `PktSize x NumVcs / CreditRoundTrip`, clamped to 1.0.
+    pub fn atomic_throughput_ceiling(&self, pkt_flits: f64) -> f64 {
+        (pkt_flits * self.num_vcs as f64 / self.credit_round_trip() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.num_vcs, 8);
+        assert_eq!(c.router_chan_latency, 50);
+        assert_eq!(c.term_chan_latency, 5);
+        assert_eq!(c.crossbar_latency, 50);
+        assert_eq!(c.max_packet_flits, 16);
+        c.validate();
+    }
+
+    #[test]
+    fn atomic_ceiling_shape() {
+        let c = SimConfig::default();
+        // Single-flit packets: 8 VCs / ~152-cycle RTT ~= 5%, the same order
+        // as the paper's 8% quote (their RTT differs slightly).
+        let single = c.atomic_throughput_ceiling(1.0);
+        assert!(single < 0.10, "{single}");
+        // 16-flit packets do ~16x better but still under line rate.
+        let big = c.atomic_throughput_ceiling(16.0);
+        assert!(big > 0.5 && big <= 1.0, "{big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual cut-through")]
+    fn rejects_buffer_smaller_than_packet() {
+        let c = SimConfig {
+            buf_flits: 8,
+            max_packet_flits: 16,
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,208 @@
+//! Network assembly: instantiates routers, terminals, and channels from a
+//! [`Topology`] + [`RoutingAlgorithm`] pair and advances them cycle by
+//! cycle.
+
+use std::sync::Arc;
+
+use hxcore::RoutingAlgorithm;
+use hxtopo::{ChannelKind, PortTarget, Topology};
+
+
+use crate::channel::Channel;
+use crate::config::SimConfig;
+use crate::packet::PacketPool;
+use crate::router::Router;
+use crate::stats::Stats;
+use crate::terminal::Terminal;
+use crate::trace::Trace;
+use crate::workload::Delivered;
+
+/// A fully wired simulated network.
+pub struct Network {
+    /// The topology being simulated.
+    pub topo: Arc<dyn Topology>,
+    /// The routing algorithm shared by every router.
+    pub algo: Arc<dyn RoutingAlgorithm>,
+    /// Simulation parameters.
+    pub cfg: SimConfig,
+    routers: Vec<Router>,
+    terminals: Vec<Terminal>,
+    channels: Vec<Channel>,
+}
+
+impl Network {
+    /// Builds the network. `seed` derives every router/terminal RNG, so a
+    /// fixed seed reproduces the run exactly.
+    pub fn new(
+        topo: Arc<dyn Topology>,
+        algo: Arc<dyn RoutingAlgorithm>,
+        cfg: SimConfig,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        assert!(
+            algo.num_classes() <= cfg.num_vcs,
+            "{} needs {} resource classes but only {} VCs configured",
+            algo.name(),
+            algo.num_classes(),
+            cfg.num_vcs
+        );
+        let nr = topo.num_routers();
+        let nt = topo.num_terminals();
+        let mut routers: Vec<Router> = (0..nr)
+            .map(|r| Router::new(r, topo.num_ports(r), &cfg, algo.num_classes(), seed))
+            .collect();
+        let mut channels: Vec<Channel> = Vec::new();
+        let mut term_wiring: Vec<Option<(usize, usize)>> = vec![None; nt];
+
+        for r in 0..nr {
+            for p in 0..topo.num_ports(r) {
+                let latency = match topo.channel_kind(r, p) {
+                    ChannelKind::Terminal => cfg.term_chan_latency,
+                    ChannelKind::Short => cfg.short_chan_latency,
+                    ChannelKind::Long => cfg.router_chan_latency,
+                };
+                match topo.port_target(r, p) {
+                    PortTarget::Router { router, port } => {
+                        // One directed channel per (source router, port).
+                        let id = channels.len();
+                        channels.push(Channel::new(latency));
+                        routers[r].out_chan[p] = Some(id);
+                        routers[router].in_chan[port] = Some(id);
+                    }
+                    PortTarget::Terminal(t) => {
+                        let eject = channels.len();
+                        channels.push(Channel::new(latency));
+                        let inject = channels.len();
+                        channels.push(Channel::new(latency));
+                        routers[r].out_chan[p] = Some(eject);
+                        routers[r].in_chan[p] = Some(inject);
+                        routers[r].port_term[p] = Some(t as u32);
+                        term_wiring[t] = Some((inject, eject));
+                    }
+                    PortTarget::Unused => {}
+                }
+            }
+        }
+
+        let terminals = term_wiring
+            .into_iter()
+            .enumerate()
+            .map(|(t, w)| {
+                let (out_chan, in_chan) = w.unwrap_or_else(|| panic!("terminal {t} unwired"));
+                Terminal::new(t, &cfg, out_chan, in_chan, seed)
+            })
+            .collect();
+
+        Network {
+            topo,
+            algo,
+            cfg,
+            routers,
+            terminals,
+            channels,
+        }
+    }
+
+    /// Advances every router and terminal by one cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        delivered: &mut Vec<Delivered>,
+        mut trace: Option<&mut Trace>,
+    ) {
+        let topo = &*self.topo;
+        let algo = &*self.algo;
+        for r in &mut self.routers {
+            r.tick(now, topo, algo, pool, &mut self.channels, trace.as_deref_mut());
+        }
+        for t in &mut self.terminals {
+            t.tick(now, pool, &mut self.channels, stats, delivered);
+        }
+    }
+
+    /// Access to a terminal (injection queues).
+    pub fn terminal_mut(&mut self, t: usize) -> &mut Terminal {
+        &mut self.terminals[t]
+    }
+
+    /// Read access to a router (tests/invariants).
+    pub fn router(&self, r: usize) -> &Router {
+        &self.routers[r]
+    }
+
+    /// Number of terminals.
+    pub fn num_terminals(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Total packets queued at source terminals (injection backlog).
+    pub fn injection_backlog(&self) -> usize {
+        self.terminals.iter().map(|t| t.queued()).sum()
+    }
+
+    /// Whether the whole network holds no flits, no queued packets, and no
+    /// in-flight channel traffic — i.e. it has fully drained.
+    pub fn is_drained(&self) -> bool {
+        self.routers.iter().all(|r| r.is_idle())
+            && self.terminals.iter().all(|t| t.queued() == 0)
+            && self.channels.iter().all(|c| {
+                // Credits may still be in flight after the last flit lands;
+                // only flits count as undrained work.
+                c.flits_in_flight().next().is_none()
+            })
+    }
+
+    /// Whether every credit has also returned home (strict quiescence).
+    pub fn is_quiescent(&self) -> bool {
+        self.is_drained() && self.channels.iter().all(|c| c.is_idle())
+    }
+
+    /// Audits credit-based flow control on every router-to-router channel:
+    /// the credits a sender has consumed for `(port, vc)` must exactly
+    /// account for the flits it has in its crossbar/output queue, on the
+    /// wire, buffered downstream, and the credits still in flight back —
+    /// plus at most one in-progress packet's whole-packet reservation when
+    /// the VC is claimed. Returns the list of violations (empty = sound).
+    pub fn audit_flow_control(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let cap = self.cfg.buf_flits;
+        let max_pkt = self.cfg.max_packet_flits;
+        for r in &self.routers {
+            for port in 0..self.topo.num_ports(r.id()) {
+                let Some(ch) = r.out_chan[port] else { continue };
+                let PortTarget::Router { router: r2, port: p2 } =
+                    self.topo.port_target(r.id(), port)
+                else {
+                    continue; // terminal links return credits instantly
+                };
+                for vc in 0..self.cfg.num_vcs {
+                    let claimed = cap - r.credits(port, vc) as usize;
+                    let chan = &self.channels[ch];
+                    let in_chan =
+                        chan.flits_in_flight().filter(|&(_, v)| v as usize == vc).count();
+                    let creds_back =
+                        chan.credits_in_flight().filter(|&v| v as usize == vc).count();
+                    let observable = r.in_flight_to(port, vc)
+                        + in_chan
+                        + creds_back
+                        + self.routers[r2].input_occupancy(p2, vc);
+                    let slack = if r.vc_owner(port, vc).is_some() {
+                        max_pkt
+                    } else {
+                        0
+                    };
+                    if claimed < observable || claimed > observable + slack {
+                        errs.push(format!(
+                            "router {} port {port} vc {vc}: claimed {claimed}                              observable {observable} slack {slack}",
+                            r.id()
+                        ));
+                    }
+                }
+            }
+        }
+        errs
+    }
+}

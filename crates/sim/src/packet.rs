@@ -1,0 +1,169 @@
+//! Packets, flits, and the packet arena.
+//!
+//! Flits are tiny `Copy` values carrying only their packet id and position;
+//! per-packet metadata lives in a slab-style [`PacketPool`] whose slots are
+//! recycled after ejection, so steady-state simulations allocate nothing on
+//! the hot path.
+
+use hxcore::PacketRouteState;
+
+/// Index into the [`PacketPool`].
+pub type PacketId = u32;
+
+/// One flow-control unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub pkt: PacketId,
+    /// Position within the packet (0 = head).
+    pub idx: u16,
+    /// Packet length (duplicated here so head/tail checks avoid an arena
+    /// lookup).
+    pub len: u16,
+}
+
+impl Flit {
+    /// Whether this is the packet's head flit.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.idx == 0
+    }
+
+    /// Whether this is the packet's tail flit (a 1-flit packet is both).
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.idx + 1 == self.len
+    }
+}
+
+/// Per-packet metadata.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Source terminal.
+    pub src: u32,
+    /// Destination terminal.
+    pub dst: u32,
+    /// Destination router (cached from the topology at creation).
+    pub dst_router: u32,
+    /// Length in flits.
+    pub len: u16,
+    /// Router-to-router hops taken so far (statistics).
+    pub hops: u8,
+    /// Cycle the packet was created (entered the source terminal queue).
+    pub birth: u64,
+    /// Cycle the head flit left the terminal (u64::MAX until then).
+    pub inject: u64,
+    /// Mutable routing state (Valiant intermediate, DAL deroute mask, ...).
+    pub route: PacketRouteState,
+    /// Workload-defined tag (e.g. message id for multi-packet messages).
+    pub tag: u64,
+}
+
+/// Slab allocator for in-flight packets.
+#[derive(Default)]
+pub struct PacketPool {
+    slots: Vec<Packet>,
+    free: Vec<PacketId>,
+    live: usize,
+}
+
+impl PacketPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a packet, reusing a retired slot when possible.
+    pub fn alloc(&mut self, pkt: Packet) -> PacketId {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = pkt;
+            id
+        } else {
+            let id = self.slots.len() as PacketId;
+            self.slots.push(pkt);
+            id
+        }
+    }
+
+    /// Read access to a live packet.
+    #[inline]
+    pub fn get(&self, id: PacketId) -> &Packet {
+        &self.slots[id as usize]
+    }
+
+    /// Write access to a live packet.
+    #[inline]
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        &mut self.slots[id as usize]
+    }
+
+    /// Retires a packet after its tail flit is consumed at the destination.
+    pub fn release(&mut self, id: PacketId) {
+        debug_assert!(self.live > 0);
+        self.live -= 1;
+        self.free.push(id);
+    }
+
+    /// Number of packets currently alive inside the network or queues.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(len: u16) -> Packet {
+        Packet {
+            src: 0,
+            dst: 1,
+            dst_router: 0,
+            len,
+            hops: 0,
+            birth: 0,
+            inject: u64::MAX,
+            route: PacketRouteState::default(),
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn head_tail_flags() {
+        let f0 = Flit { pkt: 0, idx: 0, len: 3 };
+        let f2 = Flit { pkt: 0, idx: 2, len: 3 };
+        let single = Flit { pkt: 1, idx: 0, len: 1 };
+        assert!(f0.is_head() && !f0.is_tail());
+        assert!(!f2.is_head() && f2.is_tail());
+        assert!(single.is_head() && single.is_tail());
+    }
+
+    #[test]
+    fn pool_recycles_slots() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc(pkt(4));
+        let b = pool.alloc(pkt(8));
+        assert_eq!(pool.live(), 2);
+        pool.release(a);
+        assert_eq!(pool.live(), 1);
+        let c = pool.alloc(pkt(2));
+        assert_eq!(c, a, "slot not recycled");
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.get(b).len, 8);
+        assert_eq!(pool.get(c).len, 2);
+    }
+
+    #[test]
+    fn get_mut_updates_state() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc(pkt(4));
+        pool.get_mut(a).hops = 3;
+        assert_eq!(pool.get(a).hops, 3);
+    }
+}

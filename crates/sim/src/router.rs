@@ -1,0 +1,562 @@
+//! The combined input/output-queued (CIOQ) router model.
+//!
+//! Models the Section 6 router: per-input-port VC buffers with credit-based
+//! flow control, virtual cut-through ("packet buffer") allocation, a
+//! crossbar with configurable internal speedup ("sufficient speedup to
+//! ensure the internal router datapath is not a bottleneck"), per-packet
+//! input queues with no head-of-line blocking (the CIOQ organization of
+//! the paper's reference [40]), 1-flit/cycle output links, and
+//! **age-based arbitration** for both VC allocation and switch scheduling.
+//!
+//! Per-cycle pipeline:
+//! 1. *Ingress* — accept flits/credits whose channel delay expired.
+//! 2. *Route + VC allocation* — for every unrouted head flit (oldest
+//!    packet first), ask the routing algorithm for weighted candidates and
+//!    grant the cheapest feasible `(port, vc)`: the VC must be unclaimed
+//!    and hold credits for the *whole packet* (virtual cut-through), or be
+//!    completely empty under atomic queue allocation (Section 4.2).
+//! 3. *Switch traversal* — each input port forwards up to
+//!    `crossbar_speedup` flits per cycle from its oldest routed packets
+//!    into the crossbar delay pipe, returning credits upstream.
+//! 4. *Crossbar egress* — matured flits drop into per-port output queues.
+//! 5. *Link egress* — each output port sends one flit per cycle.
+
+use std::collections::VecDeque;
+
+use hxcore::{Candidate, ClassMap, Commit, PacketRouteState, RouteCtx, RouterView,
+    RoutingAlgorithm, NO_INTERMEDIATE};
+use hxtopo::Topology;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::channel::Channel;
+use crate::config::SimConfig;
+use crate::packet::{Flit, PacketId, PacketPool};
+use crate::trace::{HopRecord, Trace};
+
+/// Congestion view over a router's output side (credits, claims, backlog).
+struct OutView<'a> {
+    num_vcs: usize,
+    cap: usize,
+    credits: &'a [u32],
+    owner: &'a [Option<PacketId>],
+    backlog: &'a [u32],
+}
+
+impl RouterView for OutView<'_> {
+    fn num_vcs(&self) -> usize {
+        self.num_vcs
+    }
+    fn free_space(&self, port: usize, vc: usize) -> usize {
+        self.credits[port * self.num_vcs + vc] as usize
+    }
+    fn capacity(&self, _port: usize, _vc: usize) -> usize {
+        self.cap
+    }
+    fn vc_claimed(&self, port: usize, vc: usize) -> bool {
+        self.owner[port * self.num_vcs + vc].is_some()
+    }
+    fn queue_len(&self, port: usize) -> usize {
+        self.backlog[port] as usize
+    }
+}
+
+/// One buffered (possibly still-arriving) packet inside an input VC.
+///
+/// Input buffers hold *packets*, not a single FIFO of flits: any fully
+/// routed packet in the VC may be forwarded, which is what removes input
+/// head-of-line blocking in the CIOQ architecture (Chuang et al.'s
+/// combined input/output-queued switch, the paper's reference [40]).
+/// Flit order is preserved per packet, and packets still serialize on any
+/// single output VC through the ownership claim, so channels never see
+/// interleaved packets on one VC.
+struct PktBuf {
+    pkt: PacketId,
+    /// Packet creation cycle, cached for age-based arbitration scans.
+    birth: u64,
+    route: Option<(u16, u8)>,
+    flits: VecDeque<Flit>,
+}
+
+/// One router instance.
+pub struct Router {
+    id: usize,
+    num_ports: usize,
+    num_vcs: usize,
+    buf_cap: u32,
+    atomic: bool,
+    xbar_latency: u64,
+    xbar_speedup: usize,
+    class_map: ClassMap,
+
+    // Input side, indexed [port * num_vcs + vc]: per-VC packet queues.
+    in_q: Vec<VecDeque<PktBuf>>,
+
+    // Output side.
+    out_credits: Vec<u32>,
+    out_owner: Vec<Option<PacketId>>,
+    /// Flits per output port inside the crossbar pipe + output queue.
+    out_backlog: Vec<u32>,
+    out_q: Vec<VecDeque<(Flit, u8)>>,
+
+    /// Crossbar delay pipe: (ready_cycle, flit, out_port, out_vc).
+    xbar: VecDeque<(u64, Flit, u16, u8)>,
+
+    /// Outgoing channel per port (None = unused port).
+    pub(crate) out_chan: Vec<Option<usize>>,
+    /// Incoming channel per port.
+    pub(crate) in_chan: Vec<Option<usize>>,
+    /// Terminal id if the port is a terminal port.
+    pub(crate) port_term: Vec<Option<u32>>,
+
+    rng: SmallRng,
+    /// Total flits buffered on the input side (fast-path skip).
+    flits_buffered: u32,
+    // Scratch buffers reused every cycle.
+    heads: Vec<(u64, PacketId, u16, u8)>,
+    cands: Vec<Candidate>,
+}
+
+impl Router {
+    /// Creates router `id` with `num_ports` ports.
+    pub fn new(id: usize, num_ports: usize, cfg: &SimConfig, num_classes: usize, seed: u64) -> Self {
+        let v = cfg.num_vcs;
+        Router {
+            id,
+            num_ports,
+            num_vcs: v,
+            buf_cap: cfg.buf_flits as u32,
+            atomic: cfg.atomic_queue_alloc,
+            xbar_latency: cfg.crossbar_latency,
+            xbar_speedup: cfg.crossbar_speedup.max(1),
+            class_map: ClassMap::new(v, num_classes),
+            in_q: (0..num_ports * v).map(|_| VecDeque::new()).collect(),
+            out_credits: vec![cfg.buf_flits as u32; num_ports * v],
+            out_owner: vec![None; num_ports * v],
+            out_backlog: vec![0; num_ports],
+            out_q: (0..num_ports).map(|_| VecDeque::new()).collect(),
+            xbar: VecDeque::new(),
+            out_chan: vec![None; num_ports],
+            in_chan: vec![None; num_ports],
+            port_term: vec![None; num_ports],
+            rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            flits_buffered: 0,
+            heads: Vec::new(),
+            cands: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn pv(&self, port: usize, vc: usize) -> usize {
+        port * self.num_vcs + vc
+    }
+
+    /// Router id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether the router holds no work at all (fast-path skip helper).
+    pub fn is_idle(&self) -> bool {
+        self.flits_buffered == 0 && self.xbar.is_empty() && self.out_backlog.iter().all(|&b| b == 0)
+    }
+
+    /// Downstream credits for `(port, vc)` (test/invariant support).
+    pub fn credits(&self, port: usize, vc: usize) -> u32 {
+        self.out_credits[port * self.num_vcs + vc]
+    }
+
+    /// Input-buffer occupancy of `(port, vc)` in flits (test/invariant
+    /// support).
+    pub fn input_occupancy(&self, port: usize, vc: usize) -> usize {
+        self.in_q[port * self.num_vcs + vc]
+            .iter()
+            .map(|p| p.flits.len())
+            .sum()
+    }
+
+    /// Owner of the downstream VC claim on `(port, vc)` (invariant
+    /// support).
+    pub fn vc_owner(&self, port: usize, vc: usize) -> Option<PacketId> {
+        self.out_owner[port * self.num_vcs + vc]
+    }
+
+    /// Flits inside the crossbar pipe or output queue heading to
+    /// `(port, vc)` (invariant support).
+    pub fn in_flight_to(&self, port: usize, vc: usize) -> usize {
+        let xbar = self
+            .xbar
+            .iter()
+            .filter(|&&(_, _, p, v)| p as usize == port && v as usize == vc)
+            .count();
+        let outq = self.out_q[port]
+            .iter()
+            .filter(|&&(_, v)| v as usize == vc)
+            .count();
+        xbar + outq
+    }
+
+    /// Total flits buffered anywhere inside this router.
+    pub fn total_flits(&self) -> usize {
+        self.flits_buffered as usize
+            + self.xbar.len()
+            + self.out_q.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// One simulation cycle. `channels` is the global channel table.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        topo: &dyn Topology,
+        algo: &dyn RoutingAlgorithm,
+        pool: &mut PacketPool,
+        channels: &mut [Channel],
+        trace: Option<&mut Trace>,
+    ) {
+        self.ingress(now, pool, channels);
+        self.allocate(now, topo, algo, pool, trace);
+        self.switch_traverse(now, channels);
+        self.xbar_drain(now);
+        self.link_egress(now, channels);
+    }
+
+    /// Phase 1: accept arriving flits and returning credits.
+    fn ingress(&mut self, now: u64, pool: &PacketPool, channels: &mut [Channel]) {
+        for port in 0..self.num_ports {
+            if let Some(ch) = self.in_chan[port] {
+                let v = self.num_vcs;
+                let base = port * v;
+                let in_q = &mut self.in_q;
+                let buffered = &mut self.flits_buffered;
+                channels[ch].recv_flits(now, |flit, vc| {
+                    let q = &mut in_q[base + vc as usize];
+                    if flit.is_head() {
+                        q.push_back(PktBuf {
+                            pkt: flit.pkt,
+                            birth: pool.get(flit.pkt).birth,
+                            route: None,
+                            flits: VecDeque::with_capacity(flit.len as usize),
+                        });
+                    }
+                    let back = q.back_mut().expect("body flit without a head");
+                    debug_assert_eq!(
+                        back.pkt, flit.pkt,
+                        "packets interleaved on one VC"
+                    );
+                    back.flits.push_back(flit);
+                    *buffered += 1;
+                });
+            }
+            if let Some(ch) = self.out_chan[port] {
+                let base = port * self.num_vcs;
+                let credits = &mut self.out_credits;
+                let cap = self.buf_cap;
+                channels[ch].recv_credits(now, |vc| {
+                    credits[base + vc as usize] += 1;
+                    debug_assert!(credits[base + vc as usize] <= cap, "credit overflow");
+                });
+            }
+        }
+    }
+
+    /// Phase 2: route computation + virtual cut-through VC allocation,
+    /// oldest packet first.
+    fn allocate(
+        &mut self,
+        now: u64,
+        topo: &dyn Topology,
+        algo: &dyn RoutingAlgorithm,
+        pool: &mut PacketPool,
+        mut trace: Option<&mut Trace>,
+    ) {
+        if self.flits_buffered == 0 {
+            return;
+        }
+        // Collect the first unrouted packet of every input VC (the packet a
+        // real VC-state machine would be routing). Routed packets ahead of
+        // it keep draining independently, so routing pipelines across
+        // packets; and because every input VC's front is (re)considered
+        // every cycle, the class-ordered drain argument for deadlock
+        // freedom holds — no packet that could make progress is ever
+        // starved of route computation.
+        let mut heads = std::mem::take(&mut self.heads);
+        heads.clear();
+        for port in 0..self.num_ports {
+            for vc in 0..self.num_vcs {
+                let i = self.pv(port, vc);
+                if let Some(buf) = self.in_q[i].iter().find(|b| b.route.is_none()) {
+                    if !buf.flits.is_empty() {
+                        heads.push((buf.birth, buf.pkt, port as u16, vc as u8));
+                    }
+                }
+            }
+        }
+        // Age-based arbitration: oldest packet claims resources first.
+        heads.sort_unstable();
+
+        let mut cands = std::mem::take(&mut self.cands);
+        for &(_, pkt_id, port16, vc8) in &heads {
+            let (port, vc) = (port16 as usize, vc8 as usize);
+            let pkt = pool.get(pkt_id);
+            let (dst_router, dst_term, len) = (pkt.dst_router as usize, pkt.dst as usize, pkt.len);
+            let state = pkt.route;
+
+            cands.clear();
+            if dst_router == self.id {
+                // Ejection: any VC of the destination terminal's port
+                // (classes don't apply to the terminal link).
+                let (_, eject_port) = topo.terminal_attach(dst_term);
+                if let Some(out_vc) = self.pick_vc(eject_port, 0..self.num_vcs, len) {
+                    self.grant(pool, pkt_id, port, vc, eject_port, out_vc, len, Commit::None, false);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(HopRecord {
+                            pkt: pkt_id,
+                            tag: pool.get(pkt_id).tag,
+                            router: self.id as u32,
+                            out_port: eject_port as u16,
+                            out_vc: out_vc as u8,
+                            ejection: true,
+                            cycle: now,
+                        });
+                    }
+                }
+                continue;
+            }
+
+            let view = OutView {
+                num_vcs: self.num_vcs,
+                cap: self.buf_cap as usize,
+                credits: &self.out_credits,
+                owner: &self.out_owner,
+                backlog: &self.out_backlog,
+            };
+            let ctx = RouteCtx {
+                router: self.id,
+                input_port: port,
+                input_vc: vc,
+                from_terminal: self.port_term[port].is_some(),
+                dst_router,
+                dst_terminal: dst_term,
+                pkt_len: len as usize,
+                state,
+                view: &view,
+            };
+            algo.route(&ctx, &mut self.rng, &mut cands);
+            debug_assert!(!cands.is_empty(), "routing produced no candidates");
+
+            // "Choose the output with the minimal weight" (Sections 5.1/5.2):
+            // the best-weighted candidate is selected *before* checking
+            // grantability; if its VC class is currently claimed or
+            // credit-starved the packet waits and re-evaluates next cycle.
+            // (Falling back to the cheapest *grantable* candidate instead
+            // turns transient credit exhaustion into spurious deroutes and
+            // destabilizes the network near saturation.) Ties prefer fewer
+            // hops, then a random draw to avoid systematic port bias.
+            let mut best: Option<((u64, u8, u32), usize, u8, Commit)> = None;
+            for c in &cands {
+                let salt = self.rng.random::<u32>();
+                let key = (c.weight, c.hops, salt);
+                if best.as_ref().map_or(true, |(k, ..)| *k > key) {
+                    best = Some((key, c.port as usize, c.class, c.commit));
+                }
+            }
+            if let Some((_, out_port, class, commit)) = best {
+                let range = self.class_map.vcs_of(class as usize);
+                if let Some(out_vc) = self.pick_vc(out_port, range, len) {
+                    self.grant(pool, pkt_id, port, vc, out_port, out_vc, len, commit, true);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(HopRecord {
+                            pkt: pkt_id,
+                            tag: pool.get(pkt_id).tag,
+                            router: self.id as u32,
+                            out_port: out_port as u16,
+                            out_vc: out_vc as u8,
+                            ejection: false,
+                            cycle: now,
+                        });
+                    }
+                }
+            }
+        }
+        self.heads = heads;
+        self.cands = cands;
+    }
+
+    /// Picks the feasible VC with most free space in `range` for a packet
+    /// of `len` flits, honoring virtual cut-through (whole-packet credits)
+    /// and atomic queue allocation.
+    fn pick_vc(
+        &self,
+        port: usize,
+        range: std::ops::Range<usize>,
+        len: u16,
+    ) -> Option<usize> {
+        if self.out_chan[port].is_none() {
+            return None;
+        }
+        let mut best: Option<(u32, usize)> = None;
+        for vc in range {
+            let i = self.pv(port, vc);
+            if self.out_owner[i].is_some() {
+                continue;
+            }
+            let cr = self.out_credits[i];
+            let ok = if self.atomic {
+                cr == self.buf_cap
+            } else {
+                cr >= len as u32
+            };
+            if ok && best.map_or(true, |(b, _)| cr > b) {
+                best = Some((cr, vc));
+            }
+        }
+        best.map(|(_, vc)| vc)
+    }
+
+    /// Commits a VC allocation: claims the downstream VC, reserves credits
+    /// for the whole packet, applies the routing commit, counts the hop.
+    #[allow(clippy::too_many_arguments)]
+    fn grant(
+        &mut self,
+        pool: &mut PacketPool,
+        pkt_id: PacketId,
+        in_port: usize,
+        in_vc: usize,
+        out_port: usize,
+        out_vc: usize,
+        len: u16,
+        commit: Commit,
+        network_hop: bool,
+    ) {
+        let o = self.pv(out_port, out_vc);
+        debug_assert!(self.out_owner[o].is_none());
+        debug_assert!(self.out_credits[o] >= len as u32);
+        self.out_owner[o] = Some(pkt_id);
+        self.out_credits[o] -= len as u32;
+        let i = self.pv(in_port, in_vc);
+        let buf = self.in_q[i]
+            .iter_mut()
+            .find(|b| b.pkt == pkt_id)
+            .expect("granted packet vanished from its input VC");
+        buf.route = Some((out_port as u16, out_vc as u8));
+        let pkt = pool.get_mut(pkt_id);
+        apply_commit(&mut pkt.route, commit);
+        if network_hop && self.port_term[out_port].is_none() {
+            pkt.hops = pkt.hops.saturating_add(1);
+        }
+    }
+
+    /// Phase 3: each input port forwards up to `crossbar_speedup` flits
+    /// (oldest routed packet first) into the crossbar, returning credits
+    /// upstream.
+    fn switch_traverse(&mut self, now: u64, channels: &mut [Channel]) {
+        if self.flits_buffered == 0 {
+            return;
+        }
+        for port in 0..self.num_ports {
+            for _ in 0..self.xbar_speedup {
+                // Oldest routed packet with buffered flits on this input
+                // port, across all VCs and queue positions.
+                let mut pick: Option<(u64, PacketId, usize, usize)> = None;
+                for vc in 0..self.num_vcs {
+                    let i = self.pv(port, vc);
+                    for (bi, buf) in self.in_q[i].iter().enumerate() {
+                        if buf.route.is_none() || buf.flits.is_empty() {
+                            continue;
+                        }
+                        if pick.map_or(true, |p| (p.0, p.1) > (buf.birth, buf.pkt)) {
+                            pick = Some((buf.birth, buf.pkt, vc, bi));
+                        }
+                    }
+                }
+                let Some((_, _, vc, bi)) = pick else { break };
+                let i = self.pv(port, vc);
+                let buf = &mut self.in_q[i][bi];
+                let (out_port, out_vc) = buf.route.expect("picked a routed packet");
+                let flit = buf.flits.pop_front().expect("picked a non-empty packet");
+                self.flits_buffered -= 1;
+                if flit.is_tail() {
+                    self.in_q[i].remove(bi);
+                    let o = self.pv(out_port as usize, out_vc as usize);
+                    debug_assert_eq!(self.out_owner[o], Some(flit.pkt));
+                    self.out_owner[o] = None;
+                }
+                self.xbar
+                    .push_back((now + self.xbar_latency, flit, out_port, out_vc));
+                self.out_backlog[out_port as usize] += 1;
+                // Credit for the freed input-buffer slot.
+                if let Some(ch) = self.in_chan[port] {
+                    channels[ch].send_credit(now, vc as u8);
+                }
+            }
+        }
+    }
+
+    /// Phase 4: matured crossbar flits drop into output queues.
+    fn xbar_drain(&mut self, now: u64) {
+        while let Some(&(t, flit, out_port, out_vc)) = self.xbar.front() {
+            if t > now {
+                break;
+            }
+            self.xbar.pop_front();
+            self.out_q[out_port as usize].push_back((flit, out_vc));
+        }
+    }
+
+    /// Phase 5: one flit per output port onto the wire.
+    fn link_egress(&mut self, now: u64, channels: &mut [Channel]) {
+        for port in 0..self.num_ports {
+            if let Some((flit, vc)) = self.out_q[port].pop_front() {
+                self.out_backlog[port] -= 1;
+                let ch = self.out_chan[port].expect("queued flit on unwired port");
+                channels[ch].send_flit(now, flit, vc);
+            }
+        }
+    }
+}
+
+/// Applies a routing commit to packet state.
+fn apply_commit(state: &mut PacketRouteState, commit: Commit) {
+    match commit {
+        Commit::None => {}
+        Commit::SetValiant {
+            intermediate,
+            phase,
+        } => {
+            debug_assert_ne!(intermediate, NO_INTERMEDIATE);
+            state.intermediate = intermediate;
+            state.phase = phase;
+        }
+        Commit::SetPhase(p) => state.phase = p,
+        Commit::Deroute { dim } => state.deroute_mask |= 1 << dim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_commit_variants() {
+        let mut s = PacketRouteState::default();
+        apply_commit(&mut s, Commit::SetValiant { intermediate: 7, phase: 0 });
+        assert_eq!(s.intermediate, 7);
+        assert_eq!(s.phase, 0);
+        apply_commit(&mut s, Commit::SetPhase(1));
+        assert_eq!(s.phase, 1);
+        apply_commit(&mut s, Commit::Deroute { dim: 2 });
+        apply_commit(&mut s, Commit::Deroute { dim: 0 });
+        assert_eq!(s.deroute_mask, 0b101);
+        apply_commit(&mut s, Commit::None);
+        assert_eq!(s.intermediate, 7);
+    }
+
+    #[test]
+    fn new_router_is_idle_with_full_credits() {
+        let cfg = SimConfig::default();
+        let r = Router::new(3, 10, &cfg, 2, 42);
+        assert!(r.is_idle());
+        assert_eq!(r.credits(0, 0), cfg.buf_flits as u32);
+        assert_eq!(r.total_flits(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The simulation driver: glues a [`Network`], a [`PacketPool`], and a
+//! [`Workload`] together and advances time.
+
+use std::sync::Arc;
+
+use hxcore::{PacketRouteState, RoutingAlgorithm};
+use hxtopo::Topology;
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::packet::{Packet, PacketPool};
+use crate::stats::Stats;
+use crate::trace::Trace;
+use crate::workload::{Delivered, PacketDesc, Workload};
+
+/// A running simulation.
+pub struct Sim {
+    /// The simulated network.
+    pub net: Network,
+    /// In-flight packet metadata.
+    pub pool: PacketPool,
+    /// Windowed statistics.
+    pub stats: Stats,
+    /// Current cycle.
+    pub now: u64,
+    /// Packets refused because their source queue was full (post-
+    /// saturation open-loop pressure).
+    pub refused_packets: u64,
+    /// Hop-level trace, populated when enabled via [`Sim::enable_tracing`].
+    pub trace: Option<Trace>,
+    delivered_buf: Vec<Delivered>,
+}
+
+impl Sim {
+    /// Builds a simulation over `topo` routed by `algo`.
+    pub fn new(
+        topo: Arc<dyn Topology>,
+        algo: Arc<dyn RoutingAlgorithm>,
+        cfg: SimConfig,
+        seed: u64,
+    ) -> Self {
+        Sim {
+            net: Network::new(topo, algo, cfg, seed),
+            pool: PacketPool::new(),
+            stats: Stats::new(),
+            now: 0,
+            refused_packets: 0,
+            trace: None,
+            delivered_buf: Vec::new(),
+        }
+    }
+
+    /// Turns on hop-level tracing (records every VC-allocation grant; see
+    /// [`Trace`]). Tracing grows memory with traffic — intended for short
+    /// diagnostic runs and the Figure 5 semantics tests.
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// Creates a packet and queues it at its source terminal. Returns
+    /// false (refusing the packet) when the terminal's source queue is at
+    /// `max_source_queue` capacity.
+    pub fn inject(&mut self, desc: PacketDesc) -> bool {
+        debug_assert!(desc.len >= 1 && desc.len as usize <= self.net.cfg.max_packet_flits);
+        if self.net.terminal_mut(desc.src as usize).queued() >= self.net.cfg.max_source_queue {
+            self.refused_packets += 1;
+            return false;
+        }
+        let dst_router = self.net.topo.router_of_terminal(desc.dst as usize) as u32;
+        let id = self.pool.alloc(Packet {
+            src: desc.src,
+            dst: desc.dst,
+            dst_router,
+            len: desc.len,
+            hops: 0,
+            birth: self.now,
+            inject: u64::MAX,
+            route: PacketRouteState::default(),
+            tag: desc.tag,
+        });
+        self.stats.record_generation(desc.len);
+        self.net.terminal_mut(desc.src as usize).enqueue(id);
+        true
+    }
+
+    /// Advances one cycle under `workload`.
+    pub fn step(&mut self, workload: &mut dyn Workload) {
+        let now = self.now;
+        // The closure injects directly so the workload observes refusals
+        // (source-queue backpressure) synchronously.
+        workload.pre_cycle(now, &mut |d| self.inject(d));
+
+        let mut delivered = std::mem::take(&mut self.delivered_buf);
+        delivered.clear();
+        self.net.tick(
+            self.now,
+            &mut self.pool,
+            &mut self.stats,
+            &mut delivered,
+            self.trace.as_mut(),
+        );
+        for d in &delivered {
+            workload.on_delivered(d, self.now);
+        }
+        self.delivered_buf = delivered;
+
+        self.now += 1;
+    }
+
+    /// Advances `cycles` cycles.
+    pub fn run(&mut self, workload: &mut dyn Workload, cycles: u64) {
+        for _ in 0..cycles {
+            self.step(workload);
+        }
+    }
+
+    /// Runs until the workload reports done *and* the network drains, or
+    /// `max_cycles` elapses. Returns the cycle at which everything
+    /// completed, or `None` on timeout.
+    pub fn run_to_completion(
+        &mut self,
+        workload: &mut dyn Workload,
+        max_cycles: u64,
+    ) -> Option<u64> {
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            self.step(workload);
+            if workload.is_done() && self.pool.live() == 0 && self.net.is_drained() {
+                return Some(self.now);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,224 @@
+//! Simulation statistics: windowed counters and a log-bucketed latency
+//! histogram for percentile estimates.
+
+/// Log2-bucketed latency histogram (bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))`, bucket 0 holds 0 and 1).
+#[derive(Clone, Debug)]
+pub struct LatencyHist {
+    buckets: [u64; 40],
+    count: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: [0; 40],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHist {
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.max(1).leading_zeros() as usize - 1).min(39);
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), linearly interpolated within
+    /// the winning bucket. Returns 0 with no samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = (1u64 << (i + 1)) as f64;
+                let frac = (target - seen) as f64 / n as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += n;
+        }
+        unreachable!("quantile target exceeds sample count");
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets = [0; 40];
+        self.count = 0;
+    }
+}
+
+/// Windowed simulation counters. `reset_window` starts a fresh measurement
+/// window; lifetime totals keep accumulating.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Cycle the current window began.
+    pub window_start: u64,
+    /// Flits handed to terminals (generated) in the window.
+    pub generated_flits: u64,
+    /// Flits that left a terminal into the network in the window.
+    pub injected_flits: u64,
+    /// Flits delivered to destination terminals in the window.
+    pub delivered_flits: u64,
+    /// Packets delivered in the window.
+    pub delivered_packets: u64,
+    /// Sum of delivered packet latencies (birth -> tail ejection).
+    pub latency_sum: u64,
+    /// Max delivered packet latency in the window.
+    pub latency_max: u64,
+    /// Sum of router-to-router hop counts of delivered packets.
+    pub hops_sum: u64,
+    /// Latency histogram for the window.
+    pub hist: LatencyHist,
+    /// Lifetime totals (never reset).
+    pub total_generated_flits: u64,
+    /// Lifetime delivered flits.
+    pub total_delivered_flits: u64,
+    /// Lifetime delivered packets.
+    pub total_delivered_packets: u64,
+}
+
+impl Stats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivered packet.
+    pub fn record_delivery(&mut self, latency: u64, hops: u8, len: u16) {
+        self.delivered_flits += len as u64;
+        self.delivered_packets += 1;
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        self.hops_sum += hops as u64;
+        self.hist.record(latency);
+        self.total_delivered_flits += len as u64;
+        self.total_delivered_packets += 1;
+    }
+
+    /// Records a generated packet (entered a terminal queue).
+    pub fn record_generation(&mut self, len: u16) {
+        self.generated_flits += len as u64;
+        self.total_generated_flits += len as u64;
+    }
+
+    /// Records one flit leaving a terminal.
+    pub fn record_injection(&mut self) {
+        self.injected_flits += 1;
+    }
+
+    /// Mean delivered-packet latency in the window.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Mean hops per delivered packet in the window.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.hops_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Delivered flits per terminal per cycle over the window.
+    pub fn accepted_throughput(&self, now: u64, terminals: usize) -> f64 {
+        let cycles = now.saturating_sub(self.window_start);
+        if cycles == 0 || terminals == 0 {
+            0.0
+        } else {
+            self.delivered_flits as f64 / (cycles as f64 * terminals as f64)
+        }
+    }
+
+    /// Generated-but-undelivered flit backlog over the whole run.
+    pub fn backlog_flits(&self) -> u64 {
+        self.total_generated_flits
+            .saturating_sub(self.total_delivered_flits)
+    }
+
+    /// Starts a fresh measurement window at `now`.
+    pub fn reset_window(&mut self, now: u64) {
+        self.window_start = now;
+        self.generated_flits = 0;
+        self.injected_flits = 0;
+        self.delivered_flits = 0;
+        self.delivered_packets = 0;
+        self.latency_sum = 0;
+        self.latency_max = 0;
+        self.hops_sum = 0;
+        self.hist.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_quantiles_bracket_samples() {
+        let mut h = LatencyHist::default();
+        for lat in [10u64, 20, 30, 40, 1000] {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= 16.0 && p50 <= 64.0, "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 512.0 && p99 <= 2048.0, "p99={p99}");
+    }
+
+    #[test]
+    fn hist_empty_is_zero() {
+        let h = LatencyHist::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn window_reset_preserves_totals() {
+        let mut s = Stats::new();
+        s.record_generation(4);
+        s.record_delivery(100, 3, 4);
+        s.reset_window(50);
+        assert_eq!(s.delivered_packets, 0);
+        assert_eq!(s.total_delivered_packets, 1);
+        assert_eq!(s.total_generated_flits, 4);
+        assert_eq!(s.backlog_flits(), 0);
+    }
+
+    #[test]
+    fn throughput_normalizes_by_cycles_and_terminals() {
+        let mut s = Stats::new();
+        s.reset_window(100);
+        s.record_delivery(10, 1, 50);
+        // 50 flits over 100 cycles and 2 terminals = 0.25.
+        assert!((s.accepted_throughput(200, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_latency_and_hops() {
+        let mut s = Stats::new();
+        s.record_delivery(100, 2, 1);
+        s.record_delivery(300, 4, 1);
+        assert!((s.mean_latency() - 200.0).abs() < 1e-12);
+        assert!((s.mean_hops() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Network terminals: packet sources (injection queue feeding the attached
+//! router at one flit per cycle under credit flow control) and sinks
+//! (immediate consumption with instant credit return).
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::channel::Channel;
+use crate::config::SimConfig;
+use crate::packet::{Flit, PacketId, PacketPool};
+use crate::stats::Stats;
+use crate::workload::Delivered;
+
+/// One compute endpoint.
+pub struct Terminal {
+    id: usize,
+    /// Generated packets waiting to enter the network.
+    inj_q: VecDeque<PacketId>,
+    /// Packet currently being serialized onto the wire:
+    /// (packet, next flit index, claimed VC).
+    cur: Option<(PacketId, u16, u8)>,
+    /// Credits for the attached router's input buffers, per VC.
+    credits: Vec<u32>,
+    /// Channel toward the router (injection).
+    pub(crate) out_chan: usize,
+    /// Channel from the router (ejection).
+    pub(crate) in_chan: usize,
+    rng: SmallRng,
+    eject_scratch: Vec<(Flit, u8)>,
+}
+
+impl Terminal {
+    /// Creates terminal `id` wired to `out_chan` / `in_chan`.
+    pub fn new(id: usize, cfg: &SimConfig, out_chan: usize, in_chan: usize, seed: u64) -> Self {
+        Terminal {
+            id,
+            inj_q: VecDeque::new(),
+            cur: None,
+            credits: vec![cfg.buf_flits as u32; cfg.num_vcs],
+            out_chan,
+            in_chan,
+            rng: SmallRng::seed_from_u64(
+                seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(id as u64 + 1),
+            ),
+            eject_scratch: Vec::new(),
+        }
+    }
+
+    /// Terminal id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Packets waiting (plus the one in flight) at this source.
+    pub fn queued(&self) -> usize {
+        self.inj_q.len() + usize::from(self.cur.is_some())
+    }
+
+    /// Enqueues a freshly allocated packet for injection.
+    pub fn enqueue(&mut self, pkt: PacketId) {
+        self.inj_q.push_back(pkt);
+    }
+
+    /// One simulation cycle: absorb credits, consume arriving flits
+    /// (recording deliveries), and push at most one flit into the network.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        pool: &mut PacketPool,
+        channels: &mut [Channel],
+        stats: &mut Stats,
+        delivered: &mut Vec<Delivered>,
+    ) {
+        // Returning credits from the router.
+        {
+            let credits = &mut self.credits;
+            channels[self.out_chan].recv_credits(now, |vc| credits[vc as usize] += 1);
+        }
+
+        // Ejection: consume everything that arrived; credits go straight
+        // back (the terminal is an infinite sink).
+        let mut scratch = std::mem::take(&mut self.eject_scratch);
+        scratch.clear();
+        channels[self.in_chan].recv_flits(now, |flit, vc| scratch.push((flit, vc)));
+        for &(flit, vc) in &scratch {
+            channels[self.in_chan].send_credit(now, vc);
+            if flit.is_tail() {
+                let pkt = pool.get(flit.pkt);
+                debug_assert_eq!(pkt.dst as usize, self.id, "misrouted packet");
+                let latency = now - pkt.birth;
+                stats.record_delivery(latency, pkt.hops, pkt.len);
+                delivered.push(Delivered {
+                    src: pkt.src,
+                    dst: pkt.dst,
+                    len: pkt.len,
+                    tag: pkt.tag,
+                    birth: pkt.birth,
+                    latency,
+                    hops: pkt.hops,
+                });
+                pool.release(flit.pkt);
+            }
+        }
+        self.eject_scratch = scratch;
+
+        // Injection: claim a VC for the next packet if idle (virtual
+        // cut-through: reserve credits for the whole packet), then send one
+        // flit per cycle.
+        if self.cur.is_none() {
+            if let Some(&pkt_id) = self.inj_q.front() {
+                let len = pool.get(pkt_id).len as u32;
+                // Most-credits VC that can hold the whole packet; random
+                // tie-break across fully-idle VCs avoids biasing VC 0.
+                let mut best: Option<(u32, u32, usize)> = None;
+                for (vc, &cr) in self.credits.iter().enumerate() {
+                    if cr >= len {
+                        let salt = rand::RngExt::random::<u32>(&mut self.rng);
+                        if best.map_or(true, |(b, s, _)| (cr, salt) > (b, s)) {
+                            best = Some((cr, salt, vc));
+                        }
+                    }
+                }
+                if let Some((_, _, vc)) = best {
+                    self.inj_q.pop_front();
+                    self.credits[vc] -= len;
+                    self.cur = Some((pkt_id, 0, vc as u8));
+                    pool.get_mut(pkt_id).inject = now;
+                }
+            }
+        }
+        if let Some((pkt_id, idx, vc)) = self.cur {
+            let len = pool.get(pkt_id).len;
+            let flit = Flit { pkt: pkt_id, idx, len };
+            channels[self.out_chan].send_flit(now, flit, vc);
+            stats.record_injection();
+            if flit.is_tail() {
+                self.cur = None;
+            } else {
+                self.cur = Some((pkt_id, idx + 1, vc));
+            }
+        }
+    }
+}

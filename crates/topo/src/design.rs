@@ -1,0 +1,216 @@
+//! Design-space optimizers used by the scalability analysis (Figure 2).
+//!
+//! Given a router radix, these find the largest network of each family that
+//! still provides at least 50% relative bisection bandwidth — the design
+//! rule used throughout the paper (it is what makes "50% throughput under
+//! worst-case admissible traffic" the theoretical optimum for non-minimal
+//! routing).
+
+use crate::hyperx::HyperX;
+
+/// An optimized HyperX configuration for a given radix and dimension count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperXDesign {
+    /// Per-dimension router counts (may be non-uniform).
+    pub widths: Vec<usize>,
+    /// Terminals per router.
+    pub terms_per_router: usize,
+    /// Total terminals.
+    pub terminals: usize,
+    /// Ports consumed (must be <= radix).
+    pub ports_used: usize,
+}
+
+impl HyperXDesign {
+    /// Instantiates the concrete topology for this design.
+    pub fn build(&self) -> HyperX {
+        HyperX::new(&self.widths, self.terms_per_router)
+    }
+}
+
+/// Finds the HyperX with `dims` dimensions maximizing terminal count for a
+/// router `radix`, subject to >= 50% relative bisection (`t <= min(width)`,
+/// adjusted for odd widths).
+///
+/// Searches near-uniform widths (each dimension `s` or `s+1`), which is
+/// where the optimum lies because terminal count is a symmetric concave-ish
+/// product and ports are a linear budget.
+///
+/// The paper's examples for 64-port routers are recovered exactly:
+/// 10,648 terminals in 2D and 78,608 in 3D.
+pub fn best_hyperx(radix: usize, dims: usize) -> Option<HyperXDesign> {
+    assert!(dims >= 1 && dims <= crate::MAX_DIMS);
+    let mut best: Option<HyperXDesign> = None;
+    // Base width s, with m dimensions promoted to s+1 (0 <= m <= dims).
+    for s in 2..=radix {
+        if dims * (s - 1) >= radix {
+            break;
+        }
+        for promoted in 0..=dims {
+            if promoted > 0 && s + 1 > radix {
+                break;
+            }
+            let mut widths = vec![s; dims];
+            for w in widths.iter_mut().take(promoted) {
+                *w += 1;
+            }
+            // Put wider dims last for a canonical ordering.
+            widths.sort_unstable();
+            let net_ports: usize = widths.iter().map(|w| w - 1).sum();
+            if net_ports >= radix {
+                continue;
+            }
+            let max_t = radix - net_ports;
+            // >= 50% bisection: for width s, relative bisection with t
+            // terminals is 2*floor(s/2)*ceil(s/2) / (s*t) >= 1/2
+            //   <=> t <= 4*floor(s/2)*ceil(s/2)/s  (== s for even s).
+            let t_cap = widths
+                .iter()
+                .map(|&w| 4 * (w / 2) * (w - w / 2) / w)
+                .min()
+                .unwrap();
+            let t = max_t.min(t_cap);
+            if t == 0 {
+                continue;
+            }
+            let routers: usize = widths.iter().product();
+            let terminals = routers * t;
+            let cand = HyperXDesign {
+                widths,
+                terms_per_router: t,
+                terminals,
+                ports_used: net_ports + t,
+            };
+            if best.as_ref().map_or(true, |b| cand.terminals > b.terminals) {
+                best = Some(cand);
+            }
+        }
+    }
+    best
+}
+
+/// A balanced Dragonfly design for a given radix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DragonflyDesign {
+    /// Terminals per router.
+    pub p: usize,
+    /// Routers per group.
+    pub a: usize,
+    /// Global channels per router.
+    pub h: usize,
+    /// Groups (maximal: `a*h + 1`).
+    pub groups: usize,
+    /// Total terminals.
+    pub terminals: usize,
+}
+
+/// The balanced maximal Dragonfly for router `radix`: `a = 2p = 2h`
+/// (Kim et al.'s balancing rule), using as much of the radix as possible.
+///
+/// With radix `k`, `p = h = floor((k+1)/4)` and `a = p * 2`, giving
+/// `N = p * a * (a*h + 1)` terminals at full global bandwidth balance.
+pub fn dragonfly_design(radix: usize) -> Option<DragonflyDesign> {
+    // ports = p + (a-1) + h = 4p - 1 <= k  =>  p <= (k+1)/4.
+    let p = (radix + 1) / 4;
+    if p == 0 {
+        return None;
+    }
+    let a = 2 * p;
+    let h = p;
+    let groups = a * h + 1;
+    Some(DragonflyDesign {
+        p,
+        a,
+        h,
+        groups,
+        terminals: p * a * groups,
+    })
+}
+
+/// Maximum terminals of an `levels`-level folded Clos built from radix-`k`
+/// routers: `2 * (k/2)^levels`.
+pub fn fattree_max_terminals(radix: usize, levels: u32) -> usize {
+    if radix < 2 {
+        return 0;
+    }
+    2 * (radix / 2).pow(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn paper_numbers_2d_3d() {
+        // Paper Section 3.1: with 64-port routers, HyperX builds 10,648
+        // terminals in 2D and 78,608 in 3D.
+        let d2 = best_hyperx(64, 2).unwrap();
+        assert_eq!(d2.terminals, 10_648, "{d2:?}");
+        assert_eq!(d2.widths, vec![22, 22]);
+        assert_eq!(d2.terms_per_router, 22);
+
+        let d3 = best_hyperx(64, 3).unwrap();
+        assert_eq!(d3.terminals, 78_608, "{d3:?}");
+        assert_eq!(d3.widths, vec![17, 17, 17]);
+        assert_eq!(d3.terms_per_router, 16);
+    }
+
+    #[test]
+    fn four_d_near_paper() {
+        // The paper quotes 463,736 terminals in 4D for 64 ports; the exact
+        // configuration behind that figure is not given. Our near-uniform
+        // search finds at least 460k, within ~1%.
+        let d4 = best_hyperx(64, 4).unwrap();
+        assert!(d4.terminals >= 460_000, "{d4:?}");
+        assert!(d4.terminals <= 470_000, "{d4:?}");
+    }
+
+    #[test]
+    fn designs_respect_radix_and_bisection() {
+        for radix in [16usize, 24, 32, 48, 64, 96, 128] {
+            for dims in 1..=4 {
+                if let Some(d) = best_hyperx(radix, dims) {
+                    assert!(d.ports_used <= radix, "{d:?}");
+                    let hx = d.build();
+                    assert!(
+                        hx.relative_bisection() >= 0.5 - 1e-9,
+                        "bisection violated: {d:?} -> {}",
+                        hx.relative_bisection()
+                    );
+                    assert_eq!(hx.num_terminals(), d.terminals);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_balanced() {
+        let d = dragonfly_design(64).unwrap();
+        assert_eq!(d.p, 16);
+        assert_eq!(d.a, 32);
+        assert_eq!(d.h, 16);
+        assert_eq!(d.groups, 513);
+        assert_eq!(d.terminals, 16 * 32 * 513); // 262,656
+        // Uses 4p-1 = 63 <= 64 ports.
+        let df = crate::Dragonfly::maximal(d.p, d.a, d.h);
+        assert_eq!(df.num_terminals(), d.terminals);
+        assert!(df.max_ports() <= 64);
+    }
+
+    #[test]
+    fn fattree_terminals() {
+        assert_eq!(fattree_max_terminals(64, 3), 2 * 32usize.pow(3)); // 65,536
+        assert_eq!(fattree_max_terminals(4, 3), 16);
+    }
+
+    #[test]
+    fn monotone_in_radix() {
+        let mut last = 0;
+        for radix in (8..=128).step_by(8) {
+            let n = best_hyperx(radix, 3).map_or(0, |d| d.terminals);
+            assert!(n >= last, "terminals not monotone at radix {radix}");
+            last = n;
+        }
+    }
+}

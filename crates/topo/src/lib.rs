@@ -1,0 +1,36 @@
+//! # hxtopo — network topologies for HyperX routing studies
+//!
+//! This crate provides the topology substrate used by the SC'19 paper
+//! *"Practical and Efficient Incremental Adaptive Routing for HyperX
+//! Networks"*: the [`HyperX`] family itself (a generalization of all flat,
+//! fully-connected-per-dimension integer-lattice networks such as the
+//! HyperCube and the Flattened Butterfly), plus the [`Dragonfly`] and the
+//! folded-Clos [`FatTree`] used as cost/performance baselines.
+//!
+//! A topology describes *structure only*: routers, terminals, ports, and
+//! how they are wired. All timing (channel latencies, buffering) lives in
+//! the simulator crate; all routing policy lives in `hxcore`.
+//!
+//! ```
+//! use hxtopo::{HyperX, Topology};
+//! let hx = HyperX::uniform(3, 4, 2); // 3 dims, width 4, 2 terminals/router
+//! assert_eq!(hx.num_routers(), 64);
+//! assert_eq!(hx.num_terminals(), 128);
+//! assert_eq!(hx.diameter(), 3); // one hop per dimension
+//! ```
+
+mod coord;
+mod design;
+mod dragonfly;
+mod fattree;
+mod hyperx;
+mod traits;
+
+pub use coord::{Coord, MAX_DIMS};
+pub use design::{
+    best_hyperx, dragonfly_design, fattree_max_terminals, DragonflyDesign, HyperXDesign,
+};
+pub use dragonfly::Dragonfly;
+pub use fattree::FatTree;
+pub use hyperx::HyperX;
+pub use traits::{check_distance_metric, check_wiring, ChannelKind, PortTarget, Topology};

@@ -1,0 +1,137 @@
+//! The topology abstraction consumed by the simulator and routing crates.
+
+/// What sits at the far end of a router port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortTarget {
+    /// The port is wired to `port` on router `router`.
+    Router { router: usize, port: usize },
+    /// The port is wired to a terminal (compute endpoint).
+    Terminal(usize),
+    /// The port is unconnected (possible in non-maximal configurations).
+    Unused,
+}
+
+/// Coarse cable class of a channel, used by the simulator to pick latency
+/// and by the cost model to pick cable technology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChannelKind {
+    /// Router-to-terminal link (short, e.g. 1 m / 5 ns in the paper).
+    Terminal,
+    /// Short router-to-router link (e.g. intra-group Dragonfly, intra-pod
+    /// fat-tree).
+    Short,
+    /// Long router-to-router link (e.g. HyperX inter-router, Dragonfly
+    /// global, fat-tree core; 10 m / 50 ns in the paper).
+    Long,
+}
+
+/// A static description of a direct network: routers, terminals, wiring.
+///
+/// Implementations must be internally consistent: if
+/// `port_target(r, p) == Router { router: r2, port: p2 }` then
+/// `port_target(r2, p2) == Router { router: r, port: p }` (channels are
+/// bidirectional pairs), and `terminal_attach` must be the inverse of the
+/// `Terminal` port targets. The test-suites verify this for every shipped
+/// topology (see `consistency` tests in each module).
+pub trait Topology: Send + Sync {
+    /// Number of routers.
+    fn num_routers(&self) -> usize;
+
+    /// Number of terminals (network endpoints).
+    fn num_terminals(&self) -> usize;
+
+    /// Number of ports on router `r` (terminal + network).
+    fn num_ports(&self, r: usize) -> usize;
+
+    /// Upper bound of `num_ports` over all routers.
+    fn max_ports(&self) -> usize;
+
+    /// What the far end of port `p` on router `r` is.
+    fn port_target(&self, r: usize, p: usize) -> PortTarget;
+
+    /// Which `(router, port)` a terminal is attached to.
+    fn terminal_attach(&self, t: usize) -> (usize, usize);
+
+    /// Cable class of port `p` on router `r` (for latency / cost modelling).
+    fn channel_kind(&self, r: usize, p: usize) -> ChannelKind;
+
+    /// Minimal number of router-to-router channel traversals between two
+    /// routers.
+    fn min_router_hops(&self, a: usize, b: usize) -> usize;
+
+    /// Maximum of `min_router_hops` over all router pairs.
+    fn diameter(&self) -> usize;
+
+    /// Human-readable name, e.g. `HyperX(8x8x8,t=8)`.
+    fn name(&self) -> String;
+
+    /// Router a terminal hangs off (convenience).
+    fn router_of_terminal(&self, t: usize) -> usize {
+        self.terminal_attach(t).0
+    }
+}
+
+/// Checks wiring consistency of a topology; used by the per-topology tests.
+///
+/// Verifies that router-router links are symmetric, terminal links are
+/// mutual, and every terminal id round-trips through `terminal_attach`.
+pub fn check_wiring(topo: &dyn Topology) {
+    for r in 0..topo.num_routers() {
+        for p in 0..topo.num_ports(r) {
+            match topo.port_target(r, p) {
+                PortTarget::Router { router, port } => {
+                    assert!(router < topo.num_routers(), "router out of range");
+                    assert_eq!(
+                        topo.port_target(router, port),
+                        PortTarget::Router { router: r, port: p },
+                        "asymmetric link {r}:{p} <-> {router}:{port}"
+                    );
+                    assert_ne!(router, r, "self-loop at router {r} port {p}");
+                }
+                PortTarget::Terminal(t) => {
+                    assert!(t < topo.num_terminals(), "terminal out of range");
+                    assert_eq!(
+                        topo.terminal_attach(t),
+                        (r, p),
+                        "terminal {t} attach mismatch"
+                    );
+                    assert_eq!(topo.channel_kind(r, p), ChannelKind::Terminal);
+                }
+                PortTarget::Unused => {}
+            }
+        }
+    }
+    for t in 0..topo.num_terminals() {
+        let (r, p) = topo.terminal_attach(t);
+        assert_eq!(topo.port_target(r, p), PortTarget::Terminal(t));
+    }
+}
+
+/// Checks that `min_router_hops` behaves like a metric consistent with the
+/// wiring: zero iff same router, symmetric, and never larger than one plus
+/// the distance from any neighbor. Used by per-topology tests (small sizes).
+pub fn check_distance_metric(topo: &dyn Topology) {
+    let n = topo.num_routers();
+    for a in 0..n {
+        assert_eq!(topo.min_router_hops(a, a), 0);
+        for b in 0..n {
+            let d = topo.min_router_hops(a, b);
+            assert_eq!(d, topo.min_router_hops(b, a), "asymmetric distance");
+            assert!(d <= topo.diameter(), "distance exceeds diameter");
+            if a != b {
+                assert!(d >= 1);
+                // d must be achievable: some neighbor of a is at distance d-1.
+                let mut ok = false;
+                for p in 0..topo.num_ports(a) {
+                    if let PortTarget::Router { router, .. } = topo.port_target(a, p) {
+                        if topo.min_router_hops(router, b) == d - 1 {
+                            ok = true;
+                            break;
+                        }
+                    }
+                }
+                assert!(ok, "distance {d} from {a} to {b} not achievable");
+            }
+        }
+    }
+}

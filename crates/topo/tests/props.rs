@@ -1,0 +1,122 @@
+//! Property-based tests for topology invariants.
+
+use hxtopo::{check_wiring, Coord, Dragonfly, FatTree, HyperX, PortTarget, Topology};
+use proptest::prelude::*;
+
+/// Arbitrary small HyperX shapes (1-4 dims, widths 2-6, 1-4 terminals).
+fn hyperx_strategy() -> impl Strategy<Value = HyperX> {
+    (
+        prop::collection::vec(2usize..=6, 1..=4),
+        1usize..=4,
+    )
+        .prop_map(|(widths, t)| HyperX::new(&widths, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hyperx_coord_roundtrip(hx in hyperx_strategy(), r_seed in any::<u64>()) {
+        let r = (r_seed % hx.num_routers() as u64) as usize;
+        prop_assert_eq!(hx.router_at(&hx.coord_of(r)), r);
+    }
+
+    #[test]
+    fn hyperx_wiring_always_consistent(hx in hyperx_strategy()) {
+        check_wiring(&hx);
+    }
+
+    #[test]
+    fn hyperx_min_hops_symmetric_and_bounded(
+        hx in hyperx_strategy(),
+        a_seed in any::<u64>(),
+        b_seed in any::<u64>(),
+    ) {
+        let n = hx.num_routers() as u64;
+        let (a, b) = ((a_seed % n) as usize, (b_seed % n) as usize);
+        let d = hx.min_router_hops(a, b);
+        prop_assert_eq!(d, hx.min_router_hops(b, a));
+        prop_assert!(d <= hx.dims());
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn hyperx_port_dim_target_inverts_port_towards(
+        hx in hyperx_strategy(),
+        r_seed in any::<u64>(),
+        d_seed in any::<u64>(),
+        c_seed in any::<u64>(),
+    ) {
+        let r = (r_seed % hx.num_routers() as u64) as usize;
+        let d = (d_seed % hx.dims() as u64) as usize;
+        let own = hx.coord_of(r).get(d);
+        let c = (c_seed % hx.width(d) as u64) as usize;
+        prop_assume!(c != own);
+        let p = hx.port_towards(r, d, c);
+        prop_assert_eq!(hx.port_dim_target(r, p), Some((d, c)));
+    }
+
+    #[test]
+    fn dragonfly_wiring_consistent(p in 1usize..=3, a in 2usize..=5, h in 1usize..=3) {
+        let df = Dragonfly::maximal(p, a, h);
+        check_wiring(&df);
+    }
+
+    #[test]
+    fn dragonfly_nonmaximal_wiring_consistent(
+        p in 1usize..=2,
+        a in 2usize..=4,
+        h in 1usize..=2,
+        g_seed in any::<u64>(),
+    ) {
+        let gmax = a * h + 1;
+        let g = 2 + (g_seed % (gmax as u64 - 1)) as usize;
+        let df = Dragonfly::new(p, a, h, g);
+        check_wiring(&df);
+    }
+
+    #[test]
+    fn fattree_wiring_consistent(half in 1usize..=5) {
+        check_wiring(&FatTree::new(half * 2));
+    }
+
+    #[test]
+    fn coord_unaligned_count_is_metric(
+        av in prop::collection::vec(0usize..8, 1..=4),
+        bv in prop::collection::vec(0usize..8, 1..=4),
+        cv in prop::collection::vec(0usize..8, 1..=4),
+    ) {
+        let n = av.len().min(bv.len()).min(cv.len());
+        let a = Coord::new(&av[..n]);
+        let b = Coord::new(&bv[..n]);
+        let c = Coord::new(&cv[..n]);
+        // Symmetry, identity, triangle inequality.
+        prop_assert_eq!(a.unaligned_count(&b), b.unaligned_count(&a));
+        prop_assert_eq!(a.unaligned_count(&a), 0);
+        prop_assert!(
+            a.unaligned_count(&c) <= a.unaligned_count(&b) + b.unaligned_count(&c)
+        );
+    }
+
+    /// Every router port of a HyperX leads somewhere valid, and terminal
+    /// ports exactly cover all terminals once.
+    #[test]
+    fn hyperx_ports_partition(hx in hyperx_strategy()) {
+        let mut term_seen = vec![false; hx.num_terminals()];
+        for r in 0..hx.num_routers() {
+            for p in 0..hx.num_ports(r) {
+                match hx.port_target(r, p) {
+                    PortTarget::Terminal(t) => {
+                        prop_assert!(!term_seen[t]);
+                        term_seen[t] = true;
+                    }
+                    PortTarget::Router { router, .. } => {
+                        prop_assert!(router < hx.num_routers());
+                    }
+                    PortTarget::Unused => prop_assert!(false, "HyperX has no unused ports"),
+                }
+            }
+        }
+        prop_assert!(term_seen.into_iter().all(|s| s));
+    }
+}

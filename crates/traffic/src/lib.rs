@@ -1,0 +1,19 @@
+//! # hxtraffic — synthetic traffic patterns and steady-state workloads
+//!
+//! Implements the paper's Table 3 patterns (UR, BC, URB, S2, DCR) as
+//! [`TrafficPattern`] destination rules, plus the open-loop
+//! [`SyntheticWorkload`] injection process (Bernoulli arrivals, packets
+//! uniformly sized 1..=16 flits) used for every steady-state experiment in
+//! Section 6.1.
+
+mod pattern;
+mod synthetic;
+
+pub use pattern::{
+    pattern_by_name, BitComplement, DimComplementReverse, Swap2, TrafficPattern, UniformRandom,
+    UniformRandomBisection,
+};
+pub use synthetic::SyntheticWorkload;
+
+/// The pattern names of the paper's Figure 6, in presentation order.
+pub const FIG6_PATTERNS: &[&str] = &["UR", "BC", "URBx", "URBy", "S2", "DCR"];

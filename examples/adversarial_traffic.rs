@@ -1,0 +1,57 @@
+//! The paper's headline result in one example: when congestion hides in
+//! the *second* dimension (URBy), source-adaptive routing cannot see it at
+//! decision time and collapses to DOR throughput, while the incremental
+//! DimWAR/OmniWAR route around it hop by hop (Figure 6d, "as much as 4x").
+//!
+//! ```text
+//! cargo run --release --example adversarial_traffic
+//! ```
+
+use std::sync::Arc;
+
+use hyperx::routing::{hyperx_algorithm, RoutingAlgorithm};
+use hyperx::sim::{run_steady_state, Sim, SimConfig, SteadyOpts};
+use hyperx::topo::{HyperX, Topology};
+use hyperx::traffic::{pattern_by_name, SyntheticWorkload};
+
+fn run(hx: &Arc<HyperX>, pattern: &str, algo_name: &str, load: f64) -> (f64, bool) {
+    let cfg = SimConfig::default();
+    let algo: Arc<dyn RoutingAlgorithm> =
+        hyperx_algorithm(algo_name, hx.clone(), cfg.num_vcs).unwrap().into();
+    let mut sim = Sim::new(hx.clone(), algo, cfg, 7);
+    let pat = pattern_by_name(pattern, hx.clone()).unwrap();
+    let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, 7);
+    let p = run_steady_state(&mut sim, &mut traffic, load, SteadyOpts::default());
+    (p.accepted, p.saturated)
+}
+
+fn main() {
+    // A 2D 8x8 HyperX with 8 terminals per router makes the contrast
+    // sharp: the minimal-only cap on URBy is 1/8 of injection bandwidth.
+    let hx = Arc::new(HyperX::uniform(2, 8, 8));
+    println!("topology: {}", hx.name());
+
+    for pattern in ["URBx", "URBy"] {
+        println!(
+            "\n{pattern}: bisection congestion in the {} dimension ({}!)",
+            if pattern == "URBx" { "FIRST" } else { "SECOND" },
+            if pattern == "URBx" {
+                "visible at the source router"
+            } else {
+                "invisible to source-adaptive routing"
+            }
+        );
+        println!("{:>8}  {:>10}", "algo", "accepted");
+        for algo in ["DOR", "UGAL", "DimWAR", "OmniWAR"] {
+            let (acc, sat) = run(&hx, pattern, algo, 0.45);
+            println!(
+                "{:>8}  {:>10}",
+                algo,
+                format!("{acc:.3}{}", if sat { " (saturated)" } else { "" })
+            );
+        }
+    }
+    println!("\nOn URBx everyone adapts. On URBy, UGAL is pinned near DOR's");
+    println!("1/width cap while the incremental algorithms deliver the full");
+    println!("bisection-limited 50% — the paper's up-to-4x throughput gap.");
+}

@@ -1,0 +1,61 @@
+//! Explore the analytic models behind the paper's motivation: how large
+//! each topology scales (Figure 2) and what its cabling costs under
+//! different link technologies (Figure 3).
+//!
+//! ```text
+//! cargo run --release --example cost_explorer
+//! ```
+
+use hyperx::cost::{
+    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes,
+    scalability_sweep, CableTech, PriceModel,
+};
+
+fn main() {
+    // Scalability: what can a 64-port router build?
+    println!("scalability at radix 64 (>= 50% bisection):");
+    for point in scalability_sweep(&[64]) {
+        for (name, diameter, terminals) in &point.entries {
+            println!("  {name:<12} diameter {diameter}: {terminals:>9} terminals");
+        }
+    }
+
+    // Cabling: 4,096 nodes under shrinking DAC reach vs passive optics.
+    let nodes = 4096;
+    let hx = hyperx_for_nodes(nodes);
+    let df = dragonfly_for_nodes(nodes);
+    let hx_bom = hyperx_cabling(&hx, None);
+    let df_bom = dragonfly_cabling(&df, None);
+    let prices = PriceModel::default();
+    println!("\ncabling for ~{nodes} nodes:");
+    println!(
+        "  HyperX:    {:>6} cables, {:>8.0} m total",
+        hx_bom.cable_count(),
+        hx_bom.total_length_m()
+    );
+    println!(
+        "  Dragonfly: {:>6} cables, {:>8.0} m total",
+        df_bom.cable_count(),
+        df_bom.total_length_m()
+    );
+    println!("\n  {:<22} {:>10} {:>10} {:>7}", "technology", "$/node HX", "$/node DF", "DF/HX");
+    for (name, tech) in [
+        ("DAC 8m + AOC (2.5GHz)", CableTech::ElectricalOptical { dac_reach_m: 8.0 }),
+        ("DAC 3m + AOC (25GHz)", CableTech::ElectricalOptical { dac_reach_m: 3.0 }),
+        ("DAC 1m + AOC (100GHz)", CableTech::ElectricalOptical { dac_reach_m: 1.0 }),
+        ("passive optical", CableTech::PassiveOptical),
+    ] {
+        let hx_cost = hx_bom.cost_per_node(tech, &prices);
+        let df_cost = df_bom.cost_per_node(tech, &prices);
+        println!(
+            "  {:<22} {:>10.2} {:>10.2} {:>7.3}",
+            name,
+            hx_cost,
+            df_cost,
+            df_cost / hx_cost
+        );
+    }
+    println!("\nAs signaling rates shrink DAC reach, electrical cabling favors");
+    println!("the Dragonfly; passive optics erase that edge — the paper's");
+    println!("motivation for revisiting HyperX routing.");
+}

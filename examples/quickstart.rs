@@ -1,0 +1,49 @@
+//! Quickstart: build a HyperX, pick a routing algorithm, run uniform
+//! random traffic, and read the results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use hyperx::routing::{hyperx_algorithm, RoutingAlgorithm};
+use hyperx::sim::{run_steady_state, Sim, SimConfig, SteadyOpts};
+use hyperx::topo::{HyperX, Topology};
+use hyperx::traffic::{SyntheticWorkload, UniformRandom};
+
+fn main() {
+    // A 3D HyperX: 4 routers per dimension, 4 terminals per router
+    // (a scaled-down version of the paper's 8x8x8 / 4,096-node network).
+    let hx = Arc::new(HyperX::uniform(3, 4, 4));
+    println!(
+        "topology: {} — {} routers, {} terminals, diameter {}",
+        hx.name(),
+        hx.num_routers(),
+        hx.num_terminals(),
+        hx.diameter()
+    );
+
+    // The paper's timing: 8 VCs, 50 ns channels and crossbar, 5 ns
+    // terminal links, packets of 1..=16 flits.
+    let cfg = SimConfig::default();
+
+    // Compare the paper's two contributions against the classic baselines.
+    println!("\nuniform random traffic at 60% load:");
+    println!("{:>8}  {:>9}  {:>9}  {:>6}", "algo", "accepted", "latency", "hops");
+    for name in ["DOR", "VAL", "UGAL", "DimWAR", "OmniWAR"] {
+        let algo: Arc<dyn RoutingAlgorithm> =
+            hyperx_algorithm(name, hx.clone(), cfg.num_vcs).unwrap().into();
+        let mut sim = Sim::new(hx.clone(), algo, cfg, 1);
+        let pattern = Arc::new(UniformRandom::new(hx.num_terminals()));
+        let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), 0.6, 1);
+        let point = run_steady_state(&mut sim, &mut traffic, 0.6, SteadyOpts::default());
+        println!(
+            "{:>8}  {:>9.3}  {:>7.0}ns  {:>6.2}",
+            name, point.accepted, point.mean_latency, point.mean_hops
+        );
+    }
+    println!("\nMinimal algorithms deliver ~0.6 with low latency; VAL pays its");
+    println!("2x bandwidth/latency tax even on benign traffic — exactly why");
+    println!("adaptive routing wants to stay minimal until congestion appears.");
+}

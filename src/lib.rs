@@ -1,0 +1,47 @@
+//! # hyperx — practical and efficient incremental adaptive routing for
+//! HyperX networks
+//!
+//! A comprehensive reproduction of McDonald, Isaev, Flores, Davis & Kim,
+//! *"Practical and Efficient Incremental Adaptive Routing for HyperX
+//! Networks"* (SC '19): the DimWAR and OmniWAR incremental adaptive routing
+//! algorithms, every baseline they are evaluated against, a cycle-accurate
+//! flit-level network simulator, the paper's synthetic traffic patterns and
+//! 27-point stencil application model, and analytic cost/scalability
+//! models.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`topo`] — topologies: HyperX, Dragonfly, fat tree ([`hxtopo`])
+//! * [`routing`] — the routing algorithms ([`hxcore`])
+//! * [`sim`] — the cycle-accurate simulator ([`hxsim`])
+//! * [`traffic`] — synthetic patterns and steady-state workloads
+//!   ([`hxtraffic`])
+//! * [`app`] — the 27-point stencil application model ([`hxapp`])
+//! * [`cost`] — cabling-cost and scalability analytics ([`hxcost`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hyperx::topo::HyperX;
+//! use hyperx::routing::OmniWar;
+//! use hyperx::sim::{Sim, SimConfig, run_steady_state, SteadyOpts};
+//! use hyperx::traffic::{SyntheticWorkload, UniformRandom};
+//!
+//! // A small 2D HyperX under uniform random traffic at 30% load.
+//! let hx = Arc::new(HyperX::uniform(2, 4, 2));
+//! let algo = Arc::new(OmniWar::max_deroutes(hx.clone(), 8));
+//! let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 1);
+//! let pattern = Arc::new(UniformRandom::new(32));
+//! let mut traffic = SyntheticWorkload::new(pattern, 32, 0.3, 1);
+//! let opts = SteadyOpts { warmup_window: 500, measure_cycles: 1_000, ..SteadyOpts::default() };
+//! let point = run_steady_state(&mut sim, &mut traffic, 0.3, opts);
+//! assert!(point.accepted > 0.2);
+//! ```
+
+pub use hxapp as app;
+pub use hxcore as routing;
+pub use hxcost as cost;
+pub use hxsim as sim;
+pub use hxtopo as topo;
+pub use hxtraffic as traffic;

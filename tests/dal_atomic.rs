@@ -1,0 +1,69 @@
+//! Section 4.2 integration tests: DAL works as a routing algorithm, and
+//! atomic queue allocation imposes the paper's throughput ceiling
+//! `PktSize x NumVcs / CreditRoundTrip`.
+
+use std::sync::Arc;
+
+use hyperx::routing::{hyperx_algorithm, RoutingAlgorithm};
+use hyperx::sim::{run_steady_state, Sim, SimConfig, SteadyOpts};
+use hyperx::topo::{HyperX, Topology};
+use hyperx::traffic::{SyntheticWorkload, UniformRandom};
+
+fn dal_ur(atomic: bool, min_len: u16, max_len: u16) -> (f64, f64) {
+    let hx = Arc::new(HyperX::uniform(3, 4, 4));
+    let cfg = SimConfig {
+        atomic_queue_alloc: atomic,
+        ..SimConfig::default()
+    };
+    let algo: Arc<dyn RoutingAlgorithm> = hyperx_algorithm("DAL", hx.clone(), 8).unwrap().into();
+    let mut sim = Sim::new(hx.clone(), algo, cfg, 13);
+    let pattern = Arc::new(UniformRandom::new(hx.num_terminals()));
+    let mut traffic = SyntheticWorkload::with_lengths(
+        pattern,
+        hx.num_terminals(),
+        0.9,
+        min_len,
+        max_len,
+        13,
+    );
+    let opts = SteadyOpts {
+        warmup_window: 1_000,
+        max_warmup_windows: 6,
+        measure_cycles: 3_000,
+        ..SteadyOpts::default()
+    };
+    let p = run_steady_state(&mut sim, &mut traffic, 0.9, opts);
+    let ceiling = cfg.atomic_throughput_ceiling(f64::from(min_len + max_len) / 2.0);
+    (p.accepted, ceiling)
+}
+
+/// Without atomic allocation, DAL carries benign traffic fine.
+#[test]
+fn dal_without_atomic_is_healthy() {
+    let (acc, _) = dal_ur(false, 1, 16);
+    assert!(acc > 0.8, "DAL accepted only {acc}");
+}
+
+/// With atomic allocation, single-flit throughput collapses to the
+/// analytic ceiling's order of magnitude (paper: ~8%).
+#[test]
+fn atomic_single_flit_collapse() {
+    let (acc, ceiling) = dal_ur(true, 1, 1);
+    assert!(
+        acc < 2.5 * ceiling,
+        "accepted {acc} far above ceiling {ceiling}"
+    );
+    assert!(acc < 0.20, "single-flit atomic throughput should collapse: {acc}");
+}
+
+/// Random 1..=16-flit packets recover much of the loss (paper: ~68%) —
+/// the ceiling scales with packet size.
+#[test]
+fn atomic_random_size_recovers() {
+    let (acc_rand, _) = dal_ur(true, 1, 16);
+    let (acc_single, _) = dal_ur(true, 1, 1);
+    assert!(
+        acc_rand > 3.0 * acc_single,
+        "random sizes ({acc_rand}) should beat single flits ({acc_single})"
+    );
+}

@@ -1,0 +1,179 @@
+//! Figure 5 semantics, verified inside the running network.
+//!
+//! The paper's Figure 5 illustrates how DimWAR and OmniWAR use virtual
+//! channels for deadlock avoidance. These tests trace every packet of an
+//! adversarial run and check the illustrated disciplines hop by hop:
+//!
+//! * **DimWAR (green path)**: dimensions visited in order, at most one
+//!   deroute per dimension, deroute hops on resource class 1, minimal hops
+//!   on class 0, and a deroute is never followed by another deroute.
+//! * **OmniWAR (blue path)**: the VC *is* the hop index (strictly
+//!   increasing distance classes), paths never exceed `N + M` hops, and
+//!   after the deroute budget is exhausted only minimal hops remain.
+//! * **UGAL/VAL/Clos-AD**: class-0 (phase 0) hops strictly precede
+//!   class-1 (phase 1) hops.
+//! * **DOR**: strictly increasing dimensions, minimal hops only.
+
+use std::sync::Arc;
+
+use hyperx::routing::{hyperx_algorithm, ClassMap, RoutingAlgorithm};
+use hyperx::sim::{HopRecord, Sim, SimConfig};
+use hyperx::topo::{HyperX, Topology};
+use hyperx::traffic::{pattern_by_name, SyntheticWorkload};
+
+const VCS: usize = 8;
+
+/// Runs adversarial traffic with tracing and returns (topology, traces
+/// grouped per packet). BC at high load forces plenty of deroutes.
+fn traced_paths(algo_name: &str, load: f64) -> (Arc<HyperX>, Vec<Vec<HopRecord>>) {
+    let hx = Arc::new(HyperX::uniform(3, 4, 4));
+    let algo: Arc<dyn RoutingAlgorithm> =
+        hyperx_algorithm(algo_name, hx.clone(), VCS).unwrap().into();
+    let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 31);
+    sim.enable_tracing();
+    let pattern = pattern_by_name("BC", hx.clone()).unwrap();
+    let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), load, 31);
+    sim.run(&mut traffic, 6_000);
+    let trace = sim.trace.take().unwrap();
+    let paths: Vec<Vec<HopRecord>> = trace
+        .paths()
+        .into_iter()
+        // Only packets whose full path we observed (traced from injection
+        // to ejection).
+        .filter(|path| path.last().is_some_and(|h| h.ejection))
+        .collect();
+    assert!(paths.len() > 500, "not enough complete traced paths");
+    (hx, paths)
+}
+
+/// The (dimension, target coordinate) of each network hop of a path.
+fn dims_of(hx: &HyperX, path: &[HopRecord]) -> Vec<(usize, usize)> {
+    path.iter()
+        .filter(|h| !h.ejection)
+        .map(|h| {
+            hx.port_dim_target(h.router as usize, h.out_port as usize)
+                .expect("network hop uses a network port")
+        })
+        .collect()
+}
+
+#[test]
+fn dimwar_green_path_discipline() {
+    let (hx, paths) = traced_paths("DimWAR", 0.5);
+    let map = ClassMap::new(VCS, 2);
+    let mut deroutes_seen = 0usize;
+    for path in &paths {
+        let hops = dims_of(&hx, path);
+        let mut cur = hx.coord_of(path[0].router as usize);
+        let mut last_dim = 0usize;
+        let mut derouted_in = [false; 8];
+        let mut prev_was_deroute = false;
+        // Reconstruct the destination from the final (ejecting) router.
+        let dst = hx.coord_of(path.last().unwrap().router as usize);
+        for (i, &(d, to)) in hops.iter().enumerate() {
+            assert!(d >= last_dim, "dimension order violated");
+            last_dim = d;
+            let class = map.class_of(path[i].out_vc as usize);
+            let minimal = to == dst.get(d);
+            if minimal {
+                assert_eq!(class, 0, "minimal hop must ride class 0");
+                prev_was_deroute = false;
+            } else {
+                assert_eq!(class, 1, "deroute hop must ride class 1");
+                assert!(!prev_was_deroute, "two deroutes in a row");
+                assert!(!derouted_in[d], "second deroute in dimension {d}");
+                derouted_in[d] = true;
+                prev_was_deroute = true;
+                deroutes_seen += 1;
+            }
+            cur.set(d, to);
+        }
+        assert_eq!(cur, dst, "path did not end at the destination router");
+        assert!(hops.len() <= 2 * hx.dims(), "path too long");
+    }
+    assert!(
+        deroutes_seen > 50,
+        "adversarial run should force deroutes, saw {deroutes_seen}"
+    );
+}
+
+#[test]
+fn omniwar_blue_path_discipline() {
+    let (hx, paths) = traced_paths("OmniWAR", 0.5);
+    // OmniWAR with 8 VCs on 3 dims: classes = VCs (identity map).
+    let n_dims = hx.dims();
+    let mut deroutes_seen = 0usize;
+    for path in &paths {
+        let hops = dims_of(&hx, path);
+        let dst = hx.coord_of(path.last().unwrap().router as usize);
+        let mut cur = hx.coord_of(path[0].router as usize);
+        // Distance classes: VC h on hop h, strictly increasing.
+        for (i, h) in path.iter().filter(|h| !h.ejection).enumerate() {
+            assert_eq!(
+                h.out_vc as usize, i,
+                "OmniWAR's VC must equal the hop index"
+            );
+        }
+        assert!(hops.len() <= VCS, "exceeded the distance-class budget");
+        let mut remaining = cur.unaligned_count(&dst);
+        for (i, &(d, to)) in hops.iter().enumerate() {
+            let minimal = to == dst.get(d);
+            if !minimal {
+                deroutes_seen += 1;
+            }
+            cur.set(d, to);
+            let new_remaining = cur.unaligned_count(&dst);
+            // The budget invariant: classes left always cover the
+            // remaining minimal hops.
+            assert!(
+                VCS - 1 - i >= new_remaining,
+                "deroute taken without class budget"
+            );
+            remaining = new_remaining;
+        }
+        assert_eq!(remaining, 0, "path did not align all dimensions");
+        let _ = n_dims;
+    }
+    assert!(
+        deroutes_seen > 50,
+        "adversarial run should force deroutes, saw {deroutes_seen}"
+    );
+}
+
+#[test]
+fn valiant_family_two_phase_classes() {
+    for name in ["VAL", "UGAL", "Clos-AD"] {
+        let (_, paths) = traced_paths(name, 0.4);
+        let map = ClassMap::new(VCS, 2);
+        for path in &paths {
+            let classes: Vec<usize> = path
+                .iter()
+                .filter(|h| !h.ejection)
+                .map(|h| map.class_of(h.out_vc as usize))
+                .collect();
+            // Classes must be non-decreasing: phase 0 then phase 1.
+            for w in classes.windows(2) {
+                assert!(
+                    w[0] <= w[1],
+                    "{name}: returned from phase 1 to phase 0: {classes:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dor_visits_dimensions_strictly_in_order() {
+    let (hx, paths) = traced_paths("DOR", 0.2);
+    for path in &paths {
+        let hops = dims_of(&hx, path);
+        let dst = hx.coord_of(path.last().unwrap().router as usize);
+        for w in hops.windows(2) {
+            assert!(w[0].0 < w[1].0, "DOR must strictly increase dimensions");
+        }
+        for &(d, to) in &hops {
+            assert_eq!(to, dst.get(d), "DOR took a non-minimal hop");
+        }
+        assert!(hops.len() <= hx.dims());
+    }
+}

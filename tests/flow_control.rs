@@ -1,0 +1,62 @@
+//! Flow-control soundness under load: mid-flight credit accounting must
+//! balance exactly (see `Network::audit_flow_control`), and a drained
+//! network must be strictly quiescent with full credits everywhere.
+
+use std::sync::Arc;
+
+use hyperx::routing::{hyperx_algorithm, RoutingAlgorithm};
+use hyperx::sim::{IdleWorkload, Sim, SimConfig};
+use hyperx::topo::{HyperX, Topology};
+use hyperx::traffic::{pattern_by_name, SyntheticWorkload};
+
+/// Audit the credit ledger every 250 cycles of a loaded adversarial run,
+/// for a representative algorithm of every deadlock-avoidance family.
+#[test]
+fn credit_ledger_balances_under_load() {
+    for algo_name in ["DOR", "UGAL", "DimWAR", "OmniWAR"] {
+        let hx = Arc::new(HyperX::uniform(3, 3, 3));
+        let algo: Arc<dyn RoutingAlgorithm> =
+            hyperx_algorithm(algo_name, hx.clone(), 8).unwrap().into();
+        let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 17);
+        let pattern = pattern_by_name("UR", hx.clone()).unwrap();
+        let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), 0.7, 17);
+        for _ in 0..16 {
+            sim.run(&mut traffic, 250);
+            let errs = sim.net.audit_flow_control();
+            assert!(
+                errs.is_empty(),
+                "{algo_name}: flow-control violations: {:?}",
+                &errs[..errs.len().min(5)]
+            );
+        }
+    }
+}
+
+/// After the workload stops and the network drains, every credit must be
+/// home: quiescence is strict, and the audit balances at zero claims.
+#[test]
+fn drain_restores_full_credits() {
+    let hx = Arc::new(HyperX::uniform(3, 3, 2));
+    let algo: Arc<dyn RoutingAlgorithm> =
+        hyperx_algorithm("OmniWAR", hx.clone(), 8).unwrap().into();
+    let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 23);
+    let pattern = pattern_by_name("UR", hx.clone()).unwrap();
+    let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), 0.6, 23);
+    sim.run(&mut traffic, 3_000);
+    // Stop injecting; let everything drain.
+    sim.run(&mut IdleWorkload, 30_000);
+    assert!(sim.net.is_drained(), "network failed to drain");
+    assert!(sim.net.is_quiescent(), "credits still in flight after drain");
+    assert_eq!(sim.pool.live(), 0, "leaked packets");
+    assert!(sim.net.audit_flow_control().is_empty());
+    // Every router-to-router VC holds its full credit allotment again.
+    let cap = sim.net.cfg.buf_flits as u32;
+    for r in 0..hx.num_routers() {
+        let router = sim.net.router(r);
+        for p in hx.terms_per_router()..hx.num_ports(r) {
+            for vc in 0..8 {
+                assert_eq!(router.credits(p, vc), cap, "router {r} port {p} vc {vc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end steady-state integration tests: the full stack (topology ->
+//! routing -> simulator -> traffic) reproduces the paper's qualitative
+//! claims on a reduced 3D HyperX.
+//!
+//! These use a 4x4x4 HyperX with 4 terminals per router (256 nodes) — the
+//! same family as the paper's 8x8x8/4,096-node network with the same
+//! terminal:width parity, so the load-balancing behaviour carries over.
+
+use std::sync::Arc;
+
+use hyperx::routing::{hyperx_algorithm, RoutingAlgorithm};
+use hyperx::sim::{run_steady_state, LoadPoint, Sim, SimConfig, SteadyOpts};
+use hyperx::topo::{HyperX, Topology};
+use hyperx::traffic::{pattern_by_name, SyntheticWorkload};
+
+fn small_hx() -> Arc<HyperX> {
+    Arc::new(HyperX::uniform(3, 4, 4))
+}
+
+fn quick_cfg() -> SimConfig {
+    SimConfig::default()
+}
+
+fn quick_opts() -> SteadyOpts {
+    SteadyOpts {
+        warmup_window: 1_500,
+        max_warmup_windows: 8,
+        measure_cycles: 3_000,
+        ..SteadyOpts::default()
+    }
+}
+
+fn run_point(algo_name: &str, pattern_name: &str, load: f64, seed: u64) -> LoadPoint {
+    let hx = small_hx();
+    let algo: Arc<dyn RoutingAlgorithm> =
+        hyperx_algorithm(algo_name, hx.clone(), 8).unwrap().into();
+    let mut sim = Sim::new(hx.clone(), algo, quick_cfg(), seed);
+    let pattern = pattern_by_name(pattern_name, hx.clone()).unwrap();
+    let n = hx.num_terminals();
+    let mut traffic = SyntheticWorkload::new(pattern, n, load, seed);
+    run_steady_state(&mut sim, &mut traffic, load, quick_opts())
+}
+
+/// At low uniform-random load every algorithm delivers the offered load
+/// with sane latency.
+#[test]
+fn ur_low_load_everyone_delivers() {
+    for algo in ["DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR"] {
+        let p = run_point(algo, "UR", 0.2, 7);
+        assert!(
+            (p.accepted - 0.2).abs() < 0.03,
+            "{algo}: accepted {} at offered 0.2",
+            p.accepted
+        );
+        assert!(!p.saturated, "{algo}: saturated at 20% UR");
+        assert!(
+            p.mean_latency < 1_500.0,
+            "{algo}: latency {} too high",
+            p.mean_latency
+        );
+    }
+}
+
+/// Minimal algorithms beat VAL on latency at low load (VAL pays ~2x path
+/// length).
+#[test]
+fn val_pays_double_latency_at_low_load() {
+    let dor = run_point("DOR", "UR", 0.1, 3);
+    let val = run_point("VAL", "UR", 0.1, 3);
+    assert!(
+        val.mean_latency > 1.25 * dor.mean_latency,
+        "VAL {} vs DOR {}",
+        val.mean_latency,
+        dor.mean_latency
+    );
+    assert!(val.mean_hops > dor.mean_hops + 0.8);
+}
+
+/// Bit complement saturates minimal routing at the bisection limit while
+/// the incremental adaptive algorithms keep delivering at 40% load
+/// (theoretical max 50%).
+#[test]
+fn bc_incremental_beats_dor() {
+    let dor = run_point("DOR", "BC", 0.40, 5);
+    let war = run_point("DimWAR", "BC", 0.40, 5);
+    // DOR on BC is limited by the per-dimension bisection (~25% on width-4
+    // dims with t=s parity... concretely it saturates well below 0.40).
+    assert!(
+        dor.accepted < 0.35,
+        "DOR should not sustain 40% BC, got {}",
+        dor.accepted
+    );
+    assert!(
+        war.accepted > dor.accepted + 0.05,
+        "DimWAR {} should beat DOR {}",
+        war.accepted,
+        dor.accepted
+    );
+}
+
+/// The paper's headline (Figure 6d): congestion hidden in the *second*
+/// dimension defeats source-adaptive routing (UGAL stays near the
+/// direct-link cap of 1/width) but not the incremental algorithms.
+///
+/// Uses a width-8 2D HyperX: the minimal-only cap is 1/8 and only 1-in-8
+/// Valiant draws start in the cold dimension, so the contrast is sharp
+/// (at width 4 the escape fraction is large enough to blur it).
+#[test]
+fn urby_incremental_beats_source_adaptive() {
+    let load = 0.40;
+    let hx = Arc::new(HyperX::uniform(2, 8, 8));
+    let point = |algo_name: &str| {
+        let algo: Arc<dyn RoutingAlgorithm> =
+            hyperx_algorithm(algo_name, hx.clone(), 8).unwrap().into();
+        let mut sim = Sim::new(hx.clone(), algo, quick_cfg(), 11);
+        let pattern = pattern_by_name("URBy", hx.clone()).unwrap();
+        let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), load, 11);
+        run_steady_state(&mut sim, &mut traffic, load, quick_opts())
+    };
+    let ugal = point("UGAL");
+    let dimwar = point("DimWAR");
+    let omniwar = point("OmniWAR");
+    assert!(
+        dimwar.accepted > ugal.accepted * 1.5,
+        "DimWAR {} should clearly beat UGAL {}",
+        dimwar.accepted,
+        ugal.accepted
+    );
+    assert!(
+        omniwar.accepted > ugal.accepted * 1.5,
+        "OmniWAR {} should clearly beat UGAL {}",
+        omniwar.accepted,
+        ugal.accepted
+    );
+    assert!(
+        ugal.accepted < 0.30,
+        "UGAL should be pinned near the minimal cap, got {}",
+        ugal.accepted
+    );
+}
+
+/// URBx congestion is visible at the source router, so UGAL adapts fine
+/// there — the contrast with URBy is the point of Figures 6c/6d.
+#[test]
+fn urbx_source_adaptive_is_fine() {
+    let load = 0.35;
+    let ugal = run_point("UGAL", "URBx", load, 13);
+    assert!(
+        ugal.accepted > 0.28,
+        "UGAL should adapt to source-visible congestion, got {}",
+        ugal.accepted
+    );
+}
+
+/// Deadlock freedom under deep saturation: every algorithm keeps making
+/// forward progress at 100% offered adversarial load.
+#[test]
+fn no_deadlock_at_full_adversarial_load() {
+    for algo in ["DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR", "MinAD"] {
+        let hx = small_hx();
+        let a: Arc<dyn RoutingAlgorithm> = hyperx_algorithm(algo, hx.clone(), 8).unwrap().into();
+        let mut sim = Sim::new(hx.clone(), a, quick_cfg(), 23);
+        let pattern = pattern_by_name("BC", hx.clone()).unwrap();
+        let n = hx.num_terminals();
+        let mut traffic = SyntheticWorkload::new(pattern, n, 1.0, 23);
+        sim.run(&mut traffic, 8_000);
+        let before = sim.stats.total_delivered_flits;
+        sim.run(&mut traffic, 4_000);
+        let after = sim.stats.total_delivered_flits;
+        assert!(
+            after > before + 1_000,
+            "{algo}: only {} flits delivered in saturated window",
+            after - before
+        );
+    }
+}

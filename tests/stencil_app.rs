@@ -1,0 +1,117 @@
+//! End-to-end stencil application tests: the Section 6.2 workload runs to
+//! completion through the cycle-accurate simulator and reproduces the
+//! Figure 8 orderings on a reduced network.
+
+use std::sync::Arc;
+
+use hyperx::app::{PhaseMode, Placement, StencilApp, StencilConfig};
+use hyperx::routing::{hyperx_algorithm, RoutingAlgorithm};
+use hyperx::sim::{Sim, SimConfig};
+use hyperx::topo::{HyperX, Topology};
+
+fn run_stencil(algo_name: &str, mode: PhaseMode, iterations: u32, halo_bytes: u64) -> u64 {
+    let hx = Arc::new(HyperX::uniform(3, 4, 4)); // 256 terminals
+    let algo: Arc<dyn RoutingAlgorithm> =
+        hyperx_algorithm(algo_name, hx.clone(), 8).unwrap().into();
+    let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 42);
+    let cfg = StencilConfig {
+        iterations,
+        mode,
+        halo_bytes,
+        placement: Placement::Random(42),
+        ..StencilConfig::paper_default(hx.num_terminals())
+    };
+    let mut app = StencilApp::new(cfg, hx.num_terminals());
+    sim.run_to_completion(&mut app, 30_000_000)
+        .expect("stencil run did not complete")
+}
+
+/// The collective completes and its duration scales ~linearly with
+/// iteration count (it is a synchronizing barrier).
+#[test]
+fn collective_only_completes_and_scales() {
+    let one = run_stencil("DimWAR", PhaseMode::CollectiveOnly, 1, 0);
+    let four = run_stencil("DimWAR", PhaseMode::CollectiveOnly, 4, 0);
+    assert!(one > 0);
+    assert!(
+        four > 3 * one && four < 6 * one,
+        "4 iterations ({four}) should take ~4x one ({one})"
+    );
+}
+
+/// Halo exchange: adaptive incremental routing beats DOR, and VAL beats
+/// DOR too (Figure 8b's ordering: DOR worst, VAL second worst).
+#[test]
+fn exchange_adaptive_beats_oblivious() {
+    let dor = run_stencil("DOR", PhaseMode::ExchangeOnly, 1, 100_000);
+    let val = run_stencil("VAL", PhaseMode::ExchangeOnly, 1, 100_000);
+    let dimwar = run_stencil("DimWAR", PhaseMode::ExchangeOnly, 1, 100_000);
+    let omniwar = run_stencil("OmniWAR", PhaseMode::ExchangeOnly, 1, 100_000);
+    assert!(
+        dimwar < dor && omniwar < dor,
+        "WARs ({dimwar}/{omniwar}) should beat DOR ({dor})"
+    );
+    assert!(
+        dimwar <= val && omniwar <= val,
+        "WARs ({dimwar}/{omniwar}) should be no worse than VAL ({val})"
+    );
+}
+
+/// The full application (exchange + collective) completes for every
+/// algorithm in the Figure 8 comparison, and the WARs are competitive.
+#[test]
+fn full_app_all_algorithms_complete() {
+    let mut times = std::collections::HashMap::new();
+    for algo in ["DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR"] {
+        let t = run_stencil(algo, PhaseMode::Full, 1, 50_000);
+        assert!(t > 0, "{algo} returned zero time");
+        times.insert(algo, t);
+    }
+    let best_war = times["DimWAR"].min(times["OmniWAR"]);
+    assert!(
+        best_war <= times["DOR"] && best_war <= times["VAL"],
+        "best WAR ({best_war}) should beat both oblivious baselines ({} / {})",
+        times["DOR"],
+        times["VAL"]
+    );
+}
+
+/// Multi-iteration pipelined run: back-to-back communication phases
+/// (paper's 16-iteration configuration, reduced to 3 here) complete and
+/// take longer than a single iteration.
+#[test]
+fn multi_iteration_full_run() {
+    let one = run_stencil("OmniWAR", PhaseMode::Full, 1, 20_000);
+    let three = run_stencil("OmniWAR", PhaseMode::Full, 3, 20_000);
+    assert!(three > 2 * one, "3 iterations ({three}) vs 1 ({one})");
+}
+
+/// Per-iteration completion metrics are recorded in order and the message
+/// count matches the model: iterations x (26 halo msgs + log2(P) collective
+/// rounds) per node.
+#[test]
+fn iteration_metrics_are_complete() {
+    let hx = Arc::new(HyperX::uniform(3, 4, 4));
+    let algo: Arc<dyn RoutingAlgorithm> =
+        hyperx_algorithm("DimWAR", hx.clone(), 8).unwrap().into();
+    let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 42);
+    let iters = 3u32;
+    let cfg = StencilConfig {
+        iterations: iters,
+        mode: PhaseMode::Full,
+        halo_bytes: 10_000,
+        placement: Placement::Random(42),
+        ..StencilConfig::paper_default(hx.num_terminals())
+    };
+    let mut app = StencilApp::new(cfg, hx.num_terminals());
+    let done = sim
+        .run_to_completion(&mut app, 30_000_000)
+        .expect("stencil run did not complete");
+    assert_eq!(app.metrics.iteration_done.len(), iters as usize);
+    assert!(app.metrics.iteration_done.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(app.finish_cycle(), app.metrics.iteration_done.last().copied());
+    assert!(*app.metrics.iteration_done.last().unwrap() <= done);
+    // 256 procs x (26 halo + 8 dissemination rounds) x 3 iterations.
+    let expected = 256 * (26 + 8) * iters as u64;
+    assert_eq!(app.metrics.messages, expected);
+}

@@ -20,7 +20,7 @@ impl Dissemination {
         assert!(n >= 1);
         Dissemination {
             n,
-            rounds: (usize::BITS - (n - 1).leading_zeros()).max(0),
+            rounds: (usize::BITS - (n - 1).leading_zeros()),
         }
     }
 

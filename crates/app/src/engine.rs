@@ -128,7 +128,10 @@ pub struct StencilApp {
 // Tag layout: high 32 bits = message id, low 32 = routing info for the
 // receiver: iter (16) | kind (1: 0 halo, 1 collective) | round (8).
 fn tag(msg: u64, iter: u32, collective: bool, round: u32) -> u64 {
-    (msg << 32) | u64::from(iter & 0xFFFF) << 16 | u64::from(collective) << 15 | u64::from(round & 0xFF)
+    (msg << 32)
+        | u64::from(iter & 0xFFFF) << 16
+        | u64::from(collective) << 15
+        | u64::from(round & 0xFF)
 }
 fn tag_iter(tag: u64) -> u32 {
     ((tag >> 16) & 0xFFFF) as u32
@@ -151,7 +154,11 @@ impl StencilApp {
         }
         let iters = cfg.iterations as usize;
         let expected_halo: Vec<u32> = (0..procs)
-            .map(|p| cfg.grid.halo_neighbors(p, cfg.halo_bytes, cfg.subcube_side).len() as u32)
+            .map(|p| {
+                cfg.grid
+                    .halo_neighbors(p, cfg.halo_bytes, cfg.subcube_side)
+                    .len() as u32
+            })
             .collect();
         let nodes = (0..procs)
             .map(|_| Node {
@@ -204,7 +211,15 @@ impl StencilApp {
     }
 
     /// Queues one application message, segmented into packets.
-    fn send_message(&mut self, from: usize, to: usize, bytes: u64, iter: u32, collective: bool, round: u32) {
+    fn send_message(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        iter: u32,
+        collective: bool,
+        round: u32,
+    ) {
         let msg = self.next_msg;
         self.next_msg += 1;
         let mut flits = self.bytes_to_flits(bytes);
@@ -236,10 +251,10 @@ impl StencilApp {
             }
             PhaseMode::ExchangeOnly | PhaseMode::Full => {
                 self.nodes[p].state = NodeState::Exchange;
-                let nbs = self
-                    .cfg
-                    .grid
-                    .halo_neighbors(p, self.cfg.halo_bytes, self.cfg.subcube_side);
+                let nbs =
+                    self.cfg
+                        .grid
+                        .halo_neighbors(p, self.cfg.halo_bytes, self.cfg.subcube_side);
                 for nb in nbs {
                     self.send_message(p, nb.proc as usize, nb.bytes, iter, false, 0);
                 }
@@ -385,7 +400,10 @@ mod tests {
         };
         let mut app = StencilApp::new(cfg, 64);
         let mut descs = Vec::new();
-        app.pre_cycle(0, &mut |d| { descs.push(d); true });
+        app.pre_cycle(0, &mut |d| {
+            descs.push(d);
+            true
+        });
         // 64 nodes x 26 neighbors, each message >= 1 packet.
         assert!(descs.len() >= 64 * 26, "{} packets", descs.len());
         // Packet lengths respect segmentation.
@@ -402,7 +420,10 @@ mod tests {
         };
         let mut app = StencilApp::new(cfg, 32);
         let mut descs = Vec::new();
-        app.pre_cycle(0, &mut |d| { descs.push(d); true });
+        app.pre_cycle(0, &mut |d| {
+            descs.push(d);
+            true
+        });
         assert_eq!(descs.len(), 32, "round-0 message per node");
     }
 

@@ -20,7 +20,10 @@ impl Placement {
     /// Builds the process -> terminal map for `procs` processes over
     /// `terminals` endpoints (`procs <= terminals`).
     pub fn build(self, procs: usize, terminals: usize) -> Vec<u32> {
-        assert!(procs <= terminals, "{procs} processes > {terminals} terminals");
+        assert!(
+            procs <= terminals,
+            "{procs} processes > {terminals} terminals"
+        );
         match self {
             Placement::Linear => (0..procs as u32).collect(),
             Placement::Random(seed) => {

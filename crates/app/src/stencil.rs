@@ -58,16 +58,19 @@ impl StencilGrid {
         let mut best = (procs, 1, 1);
         let mut best_spread = procs;
         for a in 1..=procs {
-            if procs % a != 0 {
+            if !procs.is_multiple_of(a) {
                 continue;
             }
             let rest = procs / a;
             for b in 1..=rest {
-                if rest % b != 0 {
+                if !rest.is_multiple_of(b) {
                     continue;
                 }
                 let c = rest / b;
-                let (lo, hi) = ([a, b, c].into_iter().min().unwrap(), [a, b, c].into_iter().max().unwrap());
+                let (lo, hi) = (
+                    [a, b, c].into_iter().min().unwrap(),
+                    [a, b, c].into_iter().max().unwrap(),
+                );
                 if hi - lo < best_spread {
                     best_spread = hi - lo;
                     best = (a, b, c);
@@ -124,8 +127,7 @@ impl StencilGrid {
                     if nb == p {
                         continue; // wrapped onto self (grid dim 1)
                     }
-                    let bytes =
-                        total_bytes * kind.weight(n) as u64 / total_weight;
+                    let bytes = total_bytes * kind.weight(n) as u64 / total_weight;
                     match out.iter_mut().find(|(q, _)| *q == nb as u32) {
                         Some((_, b)) => *b += bytes.max(1),
                         None => out.push((nb as u32, bytes.max(1))),

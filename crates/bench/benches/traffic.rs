@@ -57,5 +57,10 @@ fn bench_topology_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_patterns, bench_stencil_neighbors, bench_topology_queries);
+criterion_group!(
+    benches,
+    bench_patterns,
+    bench_stencil_neighbors,
+    bench_topology_queries
+);
 criterion_main!(benches);

@@ -95,7 +95,10 @@ fn main() {
     // 3. DimWAR VC budget (2 = bare deadlock requirement, 8 = paper's).
     for vcs in [2usize, 4, 8] {
         let algo: Arc<dyn RoutingAlgorithm> = Arc::new(DimWar::new(hx.clone(), vcs));
-        let cfg_v = SimConfig { num_vcs: vcs, ..cfg };
+        let cfg_v = SimConfig {
+            num_vcs: vcs,
+            ..cfg
+        };
         let (acc, lat, hops, sat) = run_one(algo, cfg_v, "BC", 0.45, seed);
         rows.push(Row {
             study: "dimwar-vc-budget".into(),
@@ -109,10 +112,12 @@ fn main() {
         });
     }
 
-    let header: Vec<String> = ["study", "variant", "pattern", "accepted", "latency", "hops", "sat"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "study", "variant", "pattern", "accepted", "latency", "hops", "sat",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

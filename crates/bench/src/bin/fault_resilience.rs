@@ -1,0 +1,157 @@
+//! Fault-resilience sweep: delivered fraction and latency vs number of
+//! failed links, per routing algorithm.
+//!
+//! Random sets of cables (chosen connectivity-preserving via
+//! `FaultSet::random_links`) are killed at cycle 0 of each run; uniform
+//! random traffic then flows for a fixed window and the network drains.
+//! Adaptive algorithms (DimWAR, OmniWAR) should hold delivered fraction at
+//! 1.0 while DOR — whose single minimal candidate may be dead — wedges on
+//! affected flows and loses them to the watchdog cutoff.
+//!
+//! ```text
+//! cargo run --release -p hxbench --bin fault_resilience -- \
+//!     [--algos DOR,DimWAR,OmniWAR] [--fails 0,1,2,4,8] [--reps 3] \
+//!     [--load 0.2] [--cycles 10000] [--seed 1] [--json out.jsonl]
+//! ```
+
+use std::sync::Arc;
+
+use hxbench::{parallel_map, render_table, write_jsonl, Args};
+use hxcore::hyperx_algorithm;
+use hxsim::{FaultSchedule, IdleWorkload, Sim, SimConfig};
+use hxtopo::{FaultSet, HyperX, Topology};
+use hxtraffic::{pattern_by_name, SyntheticWorkload};
+use serde::Serialize;
+
+const DEFAULT_ALGOS: &[&str] = &["DOR", "DimWAR", "OmniWAR"];
+
+#[derive(Serialize, Clone)]
+struct Row {
+    algo: String,
+    failed_links: usize,
+    seed: u64,
+    attempted_packets: u64,
+    delivered_packets: u64,
+    dropped_packets: u64,
+    stranded_packets: u64,
+    delivered_fraction: f64,
+    mean_latency: f64,
+    p99_latency: f64,
+    mean_hops: f64,
+    wedged: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed0: u64 = args.get_or("seed", 1);
+    let reps: u64 = args.get_or("reps", 3);
+    let load: f64 = args.get_or("load", 0.2);
+    let cycles: u64 = args.get_or("cycles", 10_000);
+    let algos: Vec<String> = args
+        .get("algos")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| DEFAULT_ALGOS.iter().map(|s| s.to_string()).collect());
+    let fails: Vec<usize> = args
+        .get("fails")
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.parse().expect("bad --fails"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0, 1, 2, 4, 8]);
+
+    let hx = Arc::new(HyperX::uniform(3, 3, 2));
+    let cfg = SimConfig {
+        // Wedged flows must fail fast so the sweep terminates.
+        watchdog_stall_cycles: 2_000,
+        ..SimConfig::default()
+    };
+
+    let mut work = Vec::new();
+    for a in &algos {
+        for &n in &fails {
+            for rep in 0..reps {
+                work.push((a.clone(), n, seed0 + rep));
+            }
+        }
+    }
+    eprintln!(
+        "fault_resilience: {} runs on {} ({} terminals)",
+        work.len(),
+        hx.name(),
+        hx.num_terminals()
+    );
+
+    let rows: Vec<Row> = parallel_map(work, |(algo_name, n_fail, seed)| {
+        let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+            hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
+                .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
+                .into();
+        let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
+        // The same seed picks the same dead cables for every algorithm, so
+        // the comparison is apples-to-apples per (n_fail, seed).
+        let faults = FaultSet::random_links(&*hx, n_fail, seed);
+        let mut schedule = FaultSchedule::new();
+        for (r, p) in faults.links() {
+            schedule = schedule.kill_link_at(0, r, p);
+        }
+        sim.set_fault_schedule(schedule);
+
+        let pattern = pattern_by_name("UR", hx.clone()).expect("UR pattern");
+        let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), load, seed);
+        sim.run(&mut traffic, cycles);
+        // Stop injecting and let survivors drain (stops early if wedged).
+        sim.run(&mut IdleWorkload, 4 * cycles);
+
+        let delivered = sim.stats.total_delivered_packets;
+        let dropped = sim.stats.dropped_packets;
+        let stranded = sim.pool.live() as u64;
+        let attempted = delivered + dropped + stranded;
+        Row {
+            algo: algo_name,
+            failed_links: n_fail,
+            seed,
+            attempted_packets: attempted,
+            delivered_packets: delivered,
+            dropped_packets: dropped,
+            stranded_packets: stranded,
+            delivered_fraction: if attempted == 0 {
+                1.0
+            } else {
+                delivered as f64 / attempted as f64
+            },
+            mean_latency: sim.stats.mean_latency(),
+            p99_latency: sim.stats.hist.quantile(0.99),
+            mean_hops: sim.stats.mean_hops(),
+            wedged: sim.watchdog_report().is_some(),
+        }
+    });
+
+    // Summary: delivered fraction (averaged over reps) per algo x fails.
+    let mut header = vec!["failed links".to_string()];
+    header.extend(algos.iter().cloned());
+    let table: Vec<Vec<String>> = fails
+        .iter()
+        .map(|&n| {
+            let mut line = vec![n.to_string()];
+            for a in &algos {
+                let sel: Vec<&Row> = rows
+                    .iter()
+                    .filter(|r| &r.algo == a && r.failed_links == n)
+                    .collect();
+                let frac = sel.iter().map(|r| r.delivered_fraction).sum::<f64>() / sel.len() as f64;
+                let wedged = sel.iter().filter(|r| r.wedged).count();
+                line.push(if wedged > 0 {
+                    format!("{frac:.3} ({wedged}/{} wedged)", sel.len())
+                } else {
+                    format!("{frac:.3}")
+                });
+            }
+            line
+        })
+        .collect();
+    println!("\nFault resilience: delivered fraction vs failed links (UR load {load:.2})");
+    println!("{}", render_table(&header, &table));
+
+    write_jsonl(args.get("json"), &rows);
+}

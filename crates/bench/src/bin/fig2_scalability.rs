@@ -54,8 +54,6 @@ fn main() {
 
     println!("Figure 2: max terminals vs router radix (diameter in parens)");
     println!("{}", render_table(&header, &table));
-    println!(
-        "paper check @ radix 64: HyperX-2D=10,648  HyperX-3D=78,608 (both exact)"
-    );
+    println!("paper check @ radix 64: HyperX-2D=10,648  HyperX-3D=78,608 (both exact)");
     write_jsonl(args.get("json"), &rows);
 }

@@ -15,8 +15,7 @@
 
 use hxbench::{render_table, write_jsonl, Args};
 use hxcost::{
-    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes, CableTech,
-    PriceModel,
+    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes, CableTech, PriceModel,
 };
 use hxtopo::Topology;
 use serde::Serialize;
@@ -34,9 +33,18 @@ fn main() {
     let args = Args::parse();
     let prices = PriceModel::default();
     let techs: Vec<(String, CableTech)> = vec![
-        ("DAC8m+AOC (2.5GHz)".into(), CableTech::ElectricalOptical { dac_reach_m: 8.0 }),
-        ("DAC3m+AOC (25GHz)".into(), CableTech::ElectricalOptical { dac_reach_m: 3.0 }),
-        ("DAC1m+AOC (100GHz)".into(), CableTech::ElectricalOptical { dac_reach_m: 1.0 }),
+        (
+            "DAC8m+AOC (2.5GHz)".into(),
+            CableTech::ElectricalOptical { dac_reach_m: 8.0 },
+        ),
+        (
+            "DAC3m+AOC (25GHz)".into(),
+            CableTech::ElectricalOptical { dac_reach_m: 3.0 },
+        ),
+        (
+            "DAC1m+AOC (100GHz)".into(),
+            CableTech::ElectricalOptical { dac_reach_m: 1.0 },
+        ),
         ("PassiveOptical".into(), CableTech::PassiveOptical),
     ];
 

@@ -87,7 +87,11 @@ fn main() {
     let halo_bytes: u64 = args.get_or("halo-bytes", 100_000);
     let iters: Vec<u32> = args
         .get("iters")
-        .map(|s| s.split(',').map(|x| x.parse().expect("bad iters")).collect())
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.parse().expect("bad iters"))
+                .collect()
+        })
         .unwrap_or_else(|| vec![1, if full { 16 } else { 4 }]);
     let cfg: SimConfig = evaluation_config();
 
@@ -127,10 +131,16 @@ fn main() {
         }
     });
 
-    let header: Vec<String> = ["topology", "routing", "iterations", "exec cycles", "vs HyperX"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "topology",
+        "routing",
+        "iterations",
+        "exec cycles",
+        "vs HyperX",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut table = Vec::new();
     for &it in &iters {
         let hx_time = rows

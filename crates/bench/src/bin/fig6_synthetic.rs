@@ -73,13 +73,16 @@ fn main() {
         work.len(),
         hx.name(),
         hx.num_terminals(),
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     );
 
     let rows: Vec<Row> = parallel_map(work, |(pattern, algo_name, load)| {
-        let algo: Arc<dyn hxcore::RoutingAlgorithm> = hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
-            .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
-            .into();
+        let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+            hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
+                .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
+                .into();
         let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
         let pat = pattern_by_name(&pattern, hx.clone())
             .unwrap_or_else(|| panic!("unknown pattern {pattern}"));

@@ -51,7 +51,11 @@ fn main() {
     };
     let iters: Vec<u32> = args
         .get("iters")
-        .map(|s| s.split(',').map(|x| x.parse().expect("bad iters")).collect())
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.parse().expect("bad iters"))
+                .collect()
+        })
         .unwrap_or_else(|| vec![1, if full { 16 } else { 4 }]);
     let algos: Vec<String> = args
         .get("algos")

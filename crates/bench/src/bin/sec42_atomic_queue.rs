@@ -53,18 +53,14 @@ fn main() {
             ..base_cfg
         };
         let algo: Arc<dyn hxcore::RoutingAlgorithm> =
-            hyperx_algorithm("DAL", hx.clone(), cfg.num_vcs).unwrap().into();
+            hyperx_algorithm("DAL", hx.clone(), cfg.num_vcs)
+                .unwrap()
+                .into();
         let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
         let pattern = Arc::new(UniformRandom::new(hx.num_terminals()));
         // Offer full load; the point is the ceiling.
-        let mut traffic = SyntheticWorkload::with_lengths(
-            pattern,
-            hx.num_terminals(),
-            0.95,
-            lo,
-            hi,
-            seed,
-        );
+        let mut traffic =
+            SyntheticWorkload::with_lengths(pattern, hx.num_terminals(), 0.95, lo, hi, seed);
         let point = run_steady_state(&mut sim, &mut traffic, 0.95, SteadyOpts::default());
         let mean_flits = f64::from(lo + hi) / 2.0;
         Row {
@@ -79,10 +75,15 @@ fn main() {
         }
     });
 
-    let header: Vec<String> = ["packet flits", "atomic alloc", "accepted", "analytic ceiling"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "packet flits",
+        "atomic alloc",
+        "accepted",
+        "analytic ceiling",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -36,11 +36,11 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args()`.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (tests).
-    pub fn from_iter(items: impl IntoIterator<Item = String>) -> Self {
+    pub fn from_args(items: impl IntoIterator<Item = String>) -> Self {
         let mut named = HashMap::new();
         let mut flags = Vec::new();
         let mut items = items.into_iter().peekable();
@@ -69,7 +69,9 @@ impl Args {
 
     /// Parsed value of `--key`, or `default`.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Whether the paper-scale configuration was requested (`--full` or
@@ -134,8 +136,7 @@ where
 /// Writes serializable rows as JSON lines to `path` (if given).
 pub fn write_jsonl<T: serde::Serialize>(path: Option<&str>, rows: &[T]) {
     let Some(path) = path else { return };
-    let mut f = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     for row in rows {
         serde_json::to_writer(&mut f, row).expect("serialize row");
         writeln!(f).expect("write row");
@@ -177,7 +178,7 @@ mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(String::from))
+        Args::from_args(s.split_whitespace().map(String::from))
     }
 
     #[test]

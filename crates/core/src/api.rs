@@ -95,6 +95,15 @@ pub trait RouterView {
     /// Backlog of the output queue feeding `port`'s channel.
     fn queue_len(&self, port: usize) -> usize;
 
+    /// Whether `port`'s outgoing link is currently usable. Fault-aware
+    /// algorithms skip candidates on dead ports; a packet whose every
+    /// legal next hop is down emits no candidates and waits for a revival
+    /// (the simulator's watchdog flags permanent stalls). Defaults to
+    /// `true` so fault-oblivious views need no changes.
+    fn port_live(&self, _port: usize) -> bool {
+        true
+    }
+
     /// Occupied downstream space of `(port, vc)` (derived).
     fn occupancy(&self, port: usize, vc: usize) -> usize {
         self.capacity(port, vc) - self.free_space(port, vc)
@@ -207,7 +216,7 @@ impl ClassMap {
     #[inline]
     pub fn class_of(&self, vc: usize) -> usize {
         debug_assert!(vc < self.num_vcs);
-        ((vc + 1) * self.num_classes + self.num_vcs - 1) / self.num_vcs - 1
+        ((vc + 1) * self.num_classes).div_ceil(self.num_vcs) - 1
     }
 }
 

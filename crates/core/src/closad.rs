@@ -204,7 +204,11 @@ mod tests {
             let mut out = Vec::new();
             algo.route(&source_ctx(&hx, src, dst, &view), &mut rng, &mut out);
             for c in &out {
-                if let Commit::SetValiant { intermediate, phase: 0 } = c.commit {
+                if let Commit::SetValiant {
+                    intermediate,
+                    phase: 0,
+                } = c.commit
+                {
                     let xc = hx.coord_of(intermediate as usize);
                     assert_eq!(xc.get(2), 2, "aligned dim must stay at dst coord");
                     seen_y.insert(xc.get(1));
@@ -227,7 +231,10 @@ mod tests {
         let base = HxBase::new(hx.clone(), 8, 2);
         for c in &out {
             match c.commit {
-                Commit::SetValiant { intermediate, phase: 0 } => {
+                Commit::SetValiant {
+                    intermediate,
+                    phase: 0,
+                } => {
                     // DOR toward the intermediate must start with this port.
                     assert_eq!(
                         base.dor_port(src, intermediate as usize).unwrap(),

@@ -64,8 +64,7 @@ impl RoutingAlgorithm for Dal {
         let remaining = cur.unaligned_count(&dst);
         debug_assert!(remaining > 0);
 
-        let on_escape =
-            !ctx.from_terminal && self.base.map.class_of(ctx.input_vc) == CLASS_ESCAPE;
+        let on_escape = !ctx.from_terminal && self.base.map.class_of(ctx.input_vc) == CLASS_ESCAPE;
 
         if !on_escape {
             for d in 0..hx.dims() {
@@ -107,9 +106,9 @@ impl RoutingAlgorithm for Dal {
             .base
             .dor_port(ctx.router, ctx.dst_router)
             .expect("not at destination");
-        let mut esc = self
-            .base
-            .candidate(ctx.view, esc_port, CLASS_ESCAPE, remaining, Commit::None);
+        let mut esc =
+            self.base
+                .candidate(ctx.view, esc_port, CLASS_ESCAPE, remaining, Commit::None);
         if !on_escape {
             esc.weight = esc.weight.saturating_add(ESCAPE_BIAS);
         }
@@ -148,7 +147,11 @@ mod tests {
     ) -> RouteCtx<'a> {
         RouteCtx {
             router,
-            input_port: if from_terminal { 0 } else { hx.terms_per_router() },
+            input_port: if from_terminal {
+                0
+            } else {
+                hx.terms_per_router()
+            },
             input_vc,
             from_terminal,
             dst_router,
@@ -202,7 +205,11 @@ mod tests {
         let dst = hx.router_at(&Coord::new(&[3, 3]));
         let mut rng = SmallRng::seed_from_u64(0);
         let mut out = Vec::new();
-        algo.route(&make_ctx(&hx, src, dst, true, 0, 0, &view), &mut rng, &mut out);
+        algo.route(
+            &make_ctx(&hx, src, dst, true, 0, 0, &view),
+            &mut rng,
+            &mut out,
+        );
         let escapes: Vec<_> = out
             .iter()
             .filter(|c| c.class as usize == CLASS_ESCAPE)

@@ -70,29 +70,38 @@ impl RoutingAlgorithm for DimWar {
         // Minimal hop: straight to the destination's coordinate in the
         // current dimension, class 0.
         let min_port = hx.port_towards(ctx.router, d, dst.get(d));
-        out.push(
-            self.base
-                .candidate(ctx.view, min_port, CLASS_MINIMAL, h, Commit::None),
-        );
+        let min_live = ctx.view.port_live(min_port);
+        if min_live {
+            out.push(
+                self.base
+                    .candidate(ctx.view, min_port, CLASS_MINIMAL, h, Commit::None),
+            );
+        }
 
         // Deroutes are permitted only from the first resource class: a
-        // packet arriving on class 1 just derouted and must take the
-        // minimal hop (paper Section 5.1 step 2).
+        // packet arriving on class 1 just derouted and must route
+        // minimally (paper Section 5.1 step 2). Exception under faults: a
+        // minimally-forced packet whose minimal port is dead may take one
+        // fault-escape deroute instead of stalling. This adds a
+        // class-1 -> class-1 dependency only at routers adjacent to a
+        // failure; with a single dead link per dimension row the next
+        // minimal hop is live again, so no dependency cycle closes (under
+        // heavier correlated failures the watchdog reports any stall).
         let may_deroute =
             ctx.from_terminal || self.base.map.class_of(ctx.input_vc) == CLASS_MINIMAL;
-        if may_deroute {
+        if may_deroute || !min_live {
             for c in 0..hx.width(d) {
                 if c == cur.get(d) || c == dst.get(d) {
                     continue;
                 }
                 let port = hx.port_towards(ctx.router, d, c);
-                out.push(self.base.candidate(
-                    ctx.view,
-                    port,
-                    CLASS_DEROUTE,
-                    h + 1,
-                    Commit::None,
-                ));
+                if !ctx.view.port_live(port) {
+                    continue;
+                }
+                out.push(
+                    self.base
+                        .candidate(ctx.view, port, CLASS_DEROUTE, h + 1, Commit::None),
+                );
             }
         }
     }
@@ -128,7 +137,11 @@ mod tests {
     ) -> RouteCtx<'a> {
         RouteCtx {
             router,
-            input_port: if from_terminal { 0 } else { hx.terms_per_router() },
+            input_port: if from_terminal {
+                0
+            } else {
+                hx.terms_per_router()
+            },
             input_vc,
             from_terminal,
             dst_router,
@@ -151,8 +164,18 @@ mod tests {
         algo.route(&make_ctx(&hx, src, dst, true, 0, &view), &mut rng, &mut out);
         // 1 minimal + 6 deroutes (width 8, excluding own and dest coords).
         assert_eq!(out.len(), 7);
-        assert_eq!(out.iter().filter(|c| c.class as usize == CLASS_MINIMAL).count(), 1);
-        assert_eq!(out.iter().filter(|c| c.class as usize == CLASS_DEROUTE).count(), 6);
+        assert_eq!(
+            out.iter()
+                .filter(|c| c.class as usize == CLASS_MINIMAL)
+                .count(),
+            1
+        );
+        assert_eq!(
+            out.iter()
+                .filter(|c| c.class as usize == CLASS_DEROUTE)
+                .count(),
+            6
+        );
         // All candidates stay in dimension 0 (dimension-ordered).
         for c in &out {
             let (d, _) = hx.port_dim_target(src, c.port as usize).unwrap();
@@ -172,7 +195,11 @@ mod tests {
         let vc1 = map.first_vc(CLASS_DEROUTE);
         let mut rng = SmallRng::seed_from_u64(0);
         let mut out = Vec::new();
-        algo.route(&make_ctx(&hx, src, dst, false, vc1, &view), &mut rng, &mut out);
+        algo.route(
+            &make_ctx(&hx, src, dst, false, vc1, &view),
+            &mut rng,
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].class as usize, CLASS_MINIMAL);
         let (d, to) = hx.port_dim_target(src, out[0].port as usize).unwrap();
@@ -193,8 +220,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut out = Vec::new();
         algo.route(&make_ctx(&hx, src, dst, true, 0, &view), &mut rng, &mut out);
-        let min = out.iter().find(|c| c.class as usize == CLASS_MINIMAL).unwrap();
-        let der = out.iter().find(|c| c.class as usize == CLASS_DEROUTE).unwrap();
+        let min = out
+            .iter()
+            .find(|c| c.class as usize == CLASS_MINIMAL)
+            .unwrap();
+        let der = out
+            .iter()
+            .find(|c| c.class as usize == CLASS_DEROUTE)
+            .unwrap();
         let q = 10 * 8 + crate::weight::HOP_LATENCY; // 10 flits on 8 VCs + hop term
         assert_eq!(min.weight, q * 2);
         assert_eq!(der.weight, q * 3, "deroute pays for the extra hop");
@@ -218,6 +251,52 @@ mod tests {
         assert_ne!(best.port as usize, min_port);
     }
 
+    #[test]
+    fn dead_ports_filtered_from_candidates() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 2));
+        let algo = DimWar::new(hx.clone(), 8);
+        let mut view = MockView::idle(hx.max_ports(), 8, 64);
+        let src = hx.router_at(&Coord::new(&[0, 0]));
+        let dst = hx.router_at(&Coord::new(&[2, 0]));
+        let min_port = hx.port_towards(src, 0, 2);
+        let dead_deroute = hx.port_towards(src, 0, 1);
+        view.kill_port(min_port);
+        view.kill_port(dead_deroute);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(&make_ctx(&hx, src, dst, true, 0, &view), &mut rng, &mut out);
+        // Only the one live deroute (to coordinate 3) remains.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].class as usize, CLASS_DEROUTE);
+        assert_eq!(out[0].port as usize, hx.port_towards(src, 0, 3));
+    }
+
+    /// A minimally-forced (class 1) packet whose minimal port is dead gets
+    /// the fault-escape deroutes instead of stalling.
+    #[test]
+    fn dead_minimal_port_enables_escape_deroute() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 2));
+        let algo = DimWar::new(hx.clone(), 8);
+        let mut view = MockView::idle(hx.max_ports(), 8, 64);
+        let src = hx.router_at(&Coord::new(&[0, 0]));
+        let dst = hx.router_at(&Coord::new(&[2, 0]));
+        view.kill_port(hx.port_towards(src, 0, 2));
+        let map = ClassMap::new(8, 2);
+        let vc1 = map.first_vc(CLASS_DEROUTE);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, false, vc1, &view),
+            &mut rng,
+            &mut out,
+        );
+        assert!(!out.is_empty(), "escape deroute must be offered");
+        assert!(out.iter().all(|c| c.class as usize == CLASS_DEROUTE));
+        assert!(out
+            .iter()
+            .all(|c| c.port as usize != hx.port_towards(src, 0, 2)));
+    }
+
     /// Simulated walk: at most one deroute per dimension, dimensions in
     /// order, path length <= 2 * dims.
     #[test]
@@ -235,14 +314,14 @@ mod tests {
             let mut last_dim = 0;
             while cur != dst {
                 let mut out = Vec::new();
-                algo.route(&make_ctx(&hx, cur, dst, first, vc, &view), &mut rng, &mut out);
+                algo.route(
+                    &make_ctx(&hx, cur, dst, first, vc, &view),
+                    &mut rng,
+                    &mut out,
+                );
                 // Pick the worst case for the property: always prefer a
                 // deroute when offered.
-                let cand = out
-                    .iter()
-                    .max_by_key(|c| c.class)
-                    .copied()
-                    .unwrap();
+                let cand = out.iter().max_by_key(|c| c.class).copied().unwrap();
                 let (d, to) = hx.port_dim_target(cur, cand.port as usize).unwrap();
                 assert!(d >= last_dim, "dimension order violated");
                 last_dim = d;

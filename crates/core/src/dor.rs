@@ -44,6 +44,12 @@ impl RoutingAlgorithm for Dor {
             .base
             .dor_port(ctx.router, ctx.dst_router)
             .expect("route() must not be called at the destination router");
+        // DOR is deterministic: with its one legal port down the packet
+        // can only wait for a revival (fault-oblivious baselines degrade
+        // under failures; the watchdog reports permanent stalls).
+        if !ctx.view.port_live(port) {
+            return;
+        }
         let hops = self.base.hops(ctx.router, ctx.dst_router);
         out.push(self.base.candidate(ctx.view, port, 0, hops, Commit::None));
     }
@@ -138,6 +144,20 @@ mod tests {
             assert!(hops <= 3, "DOR path too long");
         }
         assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn dead_minimal_port_yields_no_candidates() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 1));
+        let dor = Dor::new(hx.clone(), 4);
+        let mut view = MockView::idle(hx.max_ports(), 4, 16);
+        let src = hx.router_at(&Coord::new(&[0, 0]));
+        let dst = hx.router_at(&Coord::new(&[2, 2]));
+        view.kill_port(hx.port_towards(src, 0, 2));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        dor.route(&ctx(&hx, src, dst, &view), &mut rng, &mut out);
+        assert!(out.is_empty(), "DOR cannot route around a dead port");
     }
 
     #[test]

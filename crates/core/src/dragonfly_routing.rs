@@ -117,7 +117,9 @@ impl RoutingAlgorithm for DragonflyRouting {
 
         if ctx.from_terminal && ctx.state.intermediate == NO_INTERMEDIATE {
             let h_min = df.min_router_hops(ctx.router, ctx.dst_router);
-            let min_port = self.min_port(ctx.router, ctx.dst_router).expect("not at dst");
+            let min_port = self
+                .min_port(ctx.router, ctx.dst_router)
+                .expect("not at dst");
             let min_commit = Commit::SetValiant {
                 intermediate: ctx.router as u32,
                 phase: 1,
@@ -130,8 +132,8 @@ impl RoutingAlgorithm for DragonflyRouting {
                 let x = rng.random_range(0..df.num_routers() as u32) as usize;
                 if x != ctx.router && x != ctx.dst_router {
                     let port = self.min_port(ctx.router, x).expect("x != router");
-                    let hops = df.min_router_hops(ctx.router, x)
-                        + df.min_router_hops(x, ctx.dst_router);
+                    let hops =
+                        df.min_router_hops(ctx.router, x) + df.min_router_hops(x, ctx.dst_router);
                     self.push(
                         ctx,
                         port,
@@ -163,7 +165,9 @@ impl RoutingAlgorithm for DragonflyRouting {
         } else {
             (ctx.dst_router, 1)
         };
-        let port = self.min_port(ctx.router, target).expect("phase target differs");
+        let port = self
+            .min_port(ctx.router, target)
+            .expect("phase target differs");
         let hops = df.min_router_hops(ctx.router, target)
             + if phase == 0 {
                 df.min_router_hops(target, ctx.dst_router)
@@ -211,7 +215,11 @@ mod tests {
     ) -> RouteCtx<'a> {
         RouteCtx {
             router,
-            input_port: if from_terminal { 0 } else { df.terms_per_router() },
+            input_port: if from_terminal {
+                0
+            } else {
+                df.terms_per_router()
+            },
             input_vc,
             from_terminal,
             dst_router,

@@ -57,7 +57,11 @@ impl RoutingAlgorithm for FatTreeRouting {
             0 => {
                 debug_assert_ne!(ctx.router, dst_edge, "ejection handled by the router");
                 // Remaining hops: up to agg, then 1 (same pod) or 3 (via core).
-                let hops = if ft.pod_of(ctx.router) == dst_pod { 2 } else { 4 };
+                let hops = if ft.pod_of(ctx.router) == dst_pod {
+                    2
+                } else {
+                    4
+                };
                 for p in h..2 * h {
                     self.push(ctx, p, hops, out);
                 }

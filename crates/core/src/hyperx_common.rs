@@ -56,8 +56,6 @@ impl HxBase {
     /// Minimal router-hop distance between two routers.
     #[inline]
     pub fn hops(&self, a: usize, b: usize) -> usize {
-        self.hx
-            .coord_of(a)
-            .unaligned_count(&self.hx.coord_of(b))
+        self.hx.coord_of(a).unaligned_count(&self.hx.coord_of(b))
     }
 }

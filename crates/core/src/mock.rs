@@ -17,6 +17,8 @@ pub struct MockView {
     pub queues: Vec<usize>,
     /// Whether `(port, vc)` is claimed by an in-flight packet.
     pub claimed: Vec<Vec<bool>>,
+    /// Whether each port's outgoing link is up.
+    pub live: Vec<bool>,
 }
 
 impl MockView {
@@ -28,6 +30,7 @@ impl MockView {
             occ: vec![vec![0; vcs]; ports],
             queues: vec![0; ports],
             claimed: vec![vec![false; vcs]; ports],
+            live: vec![true; ports],
         }
     }
 
@@ -37,6 +40,11 @@ impl MockView {
         for vc in 0..self.vcs {
             self.occ[port][vc] = occ;
         }
+    }
+
+    /// Marks `port`'s outgoing link as failed.
+    pub fn kill_port(&mut self, port: usize) {
+        self.live[port] = false;
     }
 }
 
@@ -55,5 +63,8 @@ impl RouterView for MockView {
     }
     fn queue_len(&self, port: usize) -> usize {
         self.queues[port]
+    }
+    fn port_live(&self, port: usize) -> bool {
+        self.live[port]
     }
 }

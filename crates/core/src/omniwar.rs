@@ -113,7 +113,10 @@ impl RoutingAlgorithm for OmniWar {
         // Derouting keeps `remaining` unchanged, so it needs a full
         // `remaining` classes afterwards; minimal hops need remaining - 1.
         let may_deroute = classes_left >= remaining;
-        debug_assert!(classes_left >= remaining - 1, "cannot even finish minimally");
+        debug_assert!(
+            classes_left >= remaining - 1,
+            "cannot even finish minimally"
+        );
 
         // Back-to-back restriction: arriving on a network channel of
         // dimension d with d still unaligned implies the last hop was a
@@ -132,17 +135,31 @@ impl RoutingAlgorithm for OmniWar {
             }
             // Minimal hop in this dimension.
             let min_port = hx.port_towards(ctx.router, d, dst.get(d));
-            out.push(
-                self.base
-                    .candidate(ctx.view, min_port, out_class, remaining, Commit::None),
-            );
-            // Deroutes in this dimension.
-            if may_deroute && blocked_dim != Some(d) {
+            let min_live = ctx.view.port_live(min_port);
+            if min_live {
+                out.push(self.base.candidate(
+                    ctx.view,
+                    min_port,
+                    out_class,
+                    remaining,
+                    Commit::None,
+                ));
+            }
+            // Deroutes in this dimension. The back-to-back restriction is
+            // an optimization, not a correctness requirement, so it is
+            // waived when the dimension's minimal port is dead (otherwise
+            // a one-dimension-left packet could stall with deroute budget
+            // to spare). A packet whose budget is exhausted cannot escape
+            // a dead minimal port — the watchdog reports it.
+            if may_deroute && (blocked_dim != Some(d) || !min_live) {
                 for c in 0..hx.width(d) {
                     if c == cur.get(d) || c == dst.get(d) {
                         continue;
                     }
                     let port = hx.port_towards(ctx.router, d, c);
+                    if !ctx.view.port_live(port) {
+                        continue;
+                    }
                     out.push(self.base.candidate(
                         ctx.view,
                         port,
@@ -273,7 +290,10 @@ mod tests {
             &mut out2,
         );
         assert_eq!(out2.len(), 3, "one minimal candidate per unaligned dim");
-        assert!(out2.iter().all(|c| c.hops as usize == 3), "no deroutes left");
+        assert!(
+            out2.iter().all(|c| c.hops as usize == 3),
+            "no deroutes left"
+        );
     }
 
     #[test]
@@ -301,12 +321,10 @@ mod tests {
             }
         }
         // Dim 1 deroutes are still offered.
-        assert!(out
-            .iter()
-            .any(|c| {
-                let (d, to) = hx.port_dim_target(src, c.port as usize).unwrap();
-                d == 1 && to != 4
-            }));
+        assert!(out.iter().any(|c| {
+            let (d, to) = hx.port_dim_target(src, c.port as usize).unwrap();
+            d == 1 && to != 4
+        }));
     }
 
     #[test]
@@ -325,12 +343,63 @@ mod tests {
             &mut rng,
             &mut out,
         );
+        assert!(out.iter().any(|c| {
+            let (d, to) = hx.port_dim_target(src, c.port as usize).unwrap();
+            d == 0 && to != 4
+        }));
+    }
+
+    #[test]
+    fn dead_ports_filtered_from_candidates() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 2));
+        let algo = OmniWar::max_deroutes(hx.clone(), 8);
+        let mut view = MockView::idle(hx.max_ports(), 8, 64);
+        let src = hx.router_at(&Coord::new(&[0, 0]));
+        let dst = hx.router_at(&Coord::new(&[2, 2]));
+        let dead = hx.port_towards(src, 0, 2); // dim-0 minimal
+        view.kill_port(dead);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, true, 0, 0, &view),
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.iter().all(|c| c.port as usize != dead));
+        // Dim-1 minimal plus deroutes in both dims still offered.
         assert!(out
             .iter()
-            .any(|c| {
-                let (d, to) = hx.port_dim_target(src, c.port as usize).unwrap();
-                d == 0 && to != 4
-            }));
+            .any(|c| c.port as usize == hx.port_towards(src, 1, 2)));
+        assert!(out.iter().any(|c| c.hops as usize == 3), "deroutes remain");
+    }
+
+    /// The back-to-back same-dimension deroute restriction is waived when
+    /// the dimension's minimal port is dead, so a one-dimension-left
+    /// packet can still escape.
+    #[test]
+    fn backtoback_restriction_waived_on_dead_minimal() {
+        let hx = Arc::new(HyperX::uniform(2, 5, 2));
+        let algo = OmniWar::max_deroutes(hx.clone(), 8);
+        let mut view = MockView::idle(hx.max_ports(), 8, 64);
+        let map = ClassMap::new(8, 8);
+        // Arrived via dim 0 with dim 0 still unaligned (= just derouted
+        // there), and dim 0 is the only unaligned dimension.
+        let src = hx.router_at(&Coord::new(&[2, 4]));
+        let dst = hx.router_at(&Coord::new(&[4, 4]));
+        let in_port = hx.port_towards(src, 0, 0);
+        view.kill_port(hx.port_towards(src, 0, 4));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, false, in_port, map.first_vc(1), &view),
+            &mut rng,
+            &mut out,
+        );
+        assert!(!out.is_empty(), "escape deroutes must be offered");
+        assert!(out.iter().all(|c| {
+            let (d, to) = hx.port_dim_target(src, c.port as usize).unwrap();
+            d == 0 && to != 4
+        }));
     }
 
     /// Walk the algorithm greedily preferring deroutes: the path must

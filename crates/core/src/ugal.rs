@@ -51,21 +51,27 @@ impl RoutingAlgorithm for Ugal {
                 .base
                 .dor_port(ctx.router, ctx.dst_router)
                 .expect("route() not called at destination");
-            let h_min = self.base.hops(ctx.router, ctx.dst_router);
-            out.push(self.base.candidate(
-                ctx.view,
-                min_port,
-                1,
-                h_min,
-                Commit::SetValiant {
-                    intermediate: ctx.router as u32, // trivially "reached"
-                    phase: 1,
-                },
-            ));
-            // Valiant candidate through one uniformly random intermediate.
+            if ctx.view.port_live(min_port) {
+                let h_min = self.base.hops(ctx.router, ctx.dst_router);
+                out.push(self.base.candidate(
+                    ctx.view,
+                    min_port,
+                    1,
+                    h_min,
+                    Commit::SetValiant {
+                        intermediate: ctx.router as u32, // trivially "reached"
+                        phase: 1,
+                    },
+                ));
+            }
+            // Valiant candidate through one uniformly random intermediate
+            // (skipped when its first hop is dead; redrawn next cycle).
             let x = rng.random_range(0..self.base.hx.num_routers() as u32) as usize;
             if x != ctx.router && x != ctx.dst_router {
                 let val_port = self.base.dor_port(ctx.router, x).expect("x != router");
+                if !ctx.view.port_live(val_port) {
+                    return;
+                }
                 let h_val = self.base.hops(ctx.router, x) + self.base.hops(x, ctx.dst_router);
                 out.push(self.base.candidate(
                     ctx.view,
@@ -134,15 +140,9 @@ mod tests {
         let mut out = Vec::new();
         ugal.route(&source_ctx(&hx, 0, 15, &view), &mut rng, &mut out);
         assert!(!out.is_empty());
-        let best = out
-            .iter()
-            .min_by_key(|c| (c.weight, c.hops))
-            .unwrap();
+        let best = out.iter().min_by_key(|c| (c.weight, c.hops)).unwrap();
         assert_eq!(best.class, 1, "minimal candidate is the phase-1 one");
-        assert!(matches!(
-            best.commit,
-            Commit::SetValiant { phase: 1, .. }
-        ));
+        assert!(matches!(best.commit, Commit::SetValiant { phase: 1, .. }));
     }
 
     /// Congesting the minimal first hop makes the Valiant candidate win —

@@ -36,11 +36,7 @@ impl Valiant {
 /// in phase 0 (switching to phase 1 upon arrival), DOR toward the
 /// destination in phase 1. Shared with UGAL and Clos-AD, whose packets
 /// behave identically once the source decision is made.
-pub(crate) fn valiant_continue(
-    base: &HxBase,
-    ctx: &RouteCtx<'_>,
-    out: &mut Vec<Candidate>,
-) {
+pub(crate) fn valiant_continue(base: &HxBase, ctx: &RouteCtx<'_>, out: &mut Vec<Candidate>) {
     let (target, phase) = if ctx.state.phase == 0 {
         let x = ctx.state.intermediate as usize;
         debug_assert_ne!(ctx.state.intermediate, NO_INTERMEDIATE);
@@ -55,6 +51,11 @@ pub(crate) fn valiant_continue(
     let port = base
         .dor_port(ctx.router, target)
         .expect("phase target differs from current router");
+    // The two-phase DOR path is committed; with its next hop down the
+    // packet waits for a revival (the watchdog reports permanent stalls).
+    if !ctx.view.port_live(port) {
+        return;
+    }
     let hops = base.hops(ctx.router, target)
         + if phase == 0 {
             base.hops(target, ctx.dst_router)
@@ -89,6 +90,10 @@ impl RoutingAlgorithm for Valiant {
                     .base
                     .dor_port(ctx.router, ctx.dst_router)
                     .expect("route() not called at destination");
+                if !ctx.view.port_live(port) {
+                    // Dead first hop: emit nothing and redraw next cycle.
+                    return;
+                }
                 let hops = self.base.hops(ctx.router, ctx.dst_router);
                 out.push(self.base.candidate(
                     ctx.view,
@@ -105,6 +110,10 @@ impl RoutingAlgorithm for Valiant {
                     .base
                     .dor_port(ctx.router, x as usize)
                     .expect("x differs from current router");
+                if !ctx.view.port_live(port) {
+                    // Dead first hop: emit nothing and redraw next cycle.
+                    return;
+                }
                 let hops = self.base.hops(ctx.router, x as usize)
                     + self.base.hops(x as usize, ctx.dst_router);
                 out.push(self.base.candidate(

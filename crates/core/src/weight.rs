@@ -45,8 +45,7 @@ pub fn candidate_congestion(
     let vcs = map.vcs_of(class);
     let n = vcs.len() as u64;
     let occ_cls: u64 = vcs.map(|vc| view.occupancy(port, vc) as u64).sum();
-    let class_pressure =
-        occ_cls * view.num_vcs() as u64 / n.max(1) + view.queue_len(port) as u64;
+    let class_pressure = occ_cls * view.num_vcs() as u64 / n.max(1) + view.queue_len(port) as u64;
     class_pressure.max(port_congestion(view, port))
 }
 

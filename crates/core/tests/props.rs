@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use hxcore::{
-    hyperx_algorithm, mock::MockView, ClassMap, PacketRouteState, RouteCtx, NO_INTERMEDIATE,
-    HYPERX_ALGORITHMS,
+    hyperx_algorithm, mock::MockView, ClassMap, PacketRouteState, RouteCtx, HYPERX_ALGORITHMS,
+    NO_INTERMEDIATE,
 };
 use hxtopo::{HyperX, Topology};
 use proptest::prelude::*;
@@ -14,10 +14,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn hyperx_strategy() -> impl Strategy<Value = Arc<HyperX>> {
-    (
-        prop::collection::vec(2usize..=5, 2..=3),
-        1usize..=3,
-    )
+    (prop::collection::vec(2usize..=5, 2..=3), 1usize..=3)
         .prop_map(|(widths, t)| Arc::new(HyperX::new(&widths, t)))
 }
 
@@ -25,7 +22,9 @@ fn hyperx_strategy() -> impl Strategy<Value = Arc<HyperX>> {
 fn congest(view: &mut MockView, ports: usize, seed: u64) {
     let mut x = seed | 1;
     for p in 0..ports {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         view.congest_port(p, (x >> 33) as usize % 150);
         view.queues[p] = (x >> 21) as usize % 60;
     }

@@ -101,9 +101,7 @@ pub fn dragonfly_cabling(df: &Dragonfly, plan: Option<FloorPlan>) -> CablingBom 
     let racks = df.groups();
     let plan = plan.unwrap_or_else(|| FloorPlan::square_for(racks));
     let mut cables: Vec<(f64, u64)> = Vec::new();
-    let mut add = |len: f64, n: u64| match cables
-        .iter_mut()
-        .find(|(l, _)| (*l - len).abs() < 1e-9)
+    let mut add = |len: f64, n: u64| match cables.iter_mut().find(|(l, _)| (*l - len).abs() < 1e-9)
     {
         Some((_, c)) => *c += n,
         None => cables.push((len, n)),
@@ -199,7 +197,10 @@ mod tests {
             .filter(|&&(l, _)| l <= 1.0)
             .map(|&(_, n)| n)
             .sum();
-        assert!(short * 2 > bom.cable_count(), "locals+terminals are most cables");
+        assert!(
+            short * 2 > bom.cable_count(),
+            "locals+terminals are most cables"
+        );
     }
 
     #[test]

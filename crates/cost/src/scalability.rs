@@ -31,10 +31,7 @@ pub fn scalability_sweep(radices: &[usize]) -> Vec<ScalePoint> {
             // Reorder as (name, diameter, terminals).
             ScalePoint {
                 radix,
-                entries: entries
-                    .into_iter()
-                    .map(|(name, diam, terms)| (name, diam, terms))
-                    .collect(),
+                entries: entries.into_iter().collect(),
             }
         })
         .collect()

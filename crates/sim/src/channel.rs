@@ -11,11 +11,20 @@ use std::collections::VecDeque;
 use crate::packet::Flit;
 
 /// A directed channel plus its reverse credit wire.
+///
+/// A channel can be *killed* by fault injection: a dead channel delivers
+/// nothing, and flits sent into it pile up in a dead-drop bin that the
+/// network sweeps each cycle (counting them as dropped and poisoning their
+/// packets). Credits sent into a dead channel vanish — the sender's credit
+/// state is rebuilt from the receiver's occupancy at revival.
 #[derive(Debug)]
 pub struct Channel {
     latency: u64,
+    alive: bool,
     flits: VecDeque<(u64, Flit, u8)>,
     credits: VecDeque<(u64, u8)>,
+    /// Flits sent while the channel was dead, awaiting fault fallout.
+    dead_drops: Vec<(Flit, u8)>,
 }
 
 impl Channel {
@@ -24,8 +33,10 @@ impl Channel {
         assert!(latency >= 1, "zero-latency channels break cycle ordering");
         Channel {
             latency,
+            alive: true,
             flits: VecDeque::new(),
             credits: VecDeque::new(),
+            dead_drops: Vec::new(),
         }
     }
 
@@ -34,12 +45,49 @@ impl Channel {
         self.latency
     }
 
+    /// Whether the channel is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Kills the channel: everything in flight (both directions) is lost.
+    /// Returns the dropped flits so the caller can poison their packets.
+    pub fn kill(&mut self) -> Vec<(Flit, u8)> {
+        self.alive = false;
+        self.credits.clear();
+        self.flits.drain(..).map(|(_, f, vc)| (f, vc)).collect()
+    }
+
+    /// Brings a dead channel back up. The caller must have drained the
+    /// dead-drop bin (via [`Self::take_dead_drops`]) first.
+    pub fn revive(&mut self) {
+        debug_assert!(self.dead_drops.is_empty(), "revive with unswept dead drops");
+        self.alive = true;
+    }
+
+    /// Drains flits that were sent into the dead channel.
+    pub fn take_dead_drops(&mut self) -> Vec<(Flit, u8)> {
+        std::mem::take(&mut self.dead_drops)
+    }
+
+    /// Whether unswept dead drops exist.
+    pub fn has_dead_drops(&self) -> bool {
+        !self.dead_drops.is_empty()
+    }
+
     /// Sender side: puts a flit on the wire at cycle `now`, tagged with the
-    /// downstream VC it will occupy.
+    /// downstream VC it will occupy. On a dead channel the flit goes to
+    /// the dead-drop bin instead.
     #[inline]
     pub fn send_flit(&mut self, now: u64, flit: Flit, vc: u8) {
+        if !self.alive {
+            self.dead_drops.push((flit, vc));
+            return;
+        }
         debug_assert!(
-            self.flits.back().map_or(true, |&(t, _, _)| t < now + self.latency),
+            self.flits
+                .back()
+                .is_none_or(|&(t, _, _)| t < now + self.latency),
             "channel bandwidth exceeded (two flits in one cycle)"
         );
         self.flits.push_back((now + self.latency, flit, vc));
@@ -57,9 +105,13 @@ impl Channel {
         }
     }
 
-    /// Receiver side: returns one credit for `vc` to the sender.
+    /// Receiver side: returns one credit for `vc` to the sender. Credits
+    /// sent into a dead channel are lost (rebuilt at revival).
     #[inline]
     pub fn send_credit(&mut self, now: u64, vc: u8) {
+        if !self.alive {
+            return;
+        }
         self.credits.push_back((now + self.latency, vc));
     }
 
@@ -75,9 +127,10 @@ impl Channel {
         }
     }
 
-    /// Whether anything is in flight (either direction).
+    /// Whether anything is in flight (either direction) or awaiting
+    /// fault-fallout processing.
     pub fn is_idle(&self) -> bool {
-        self.flits.is_empty() && self.credits.is_empty()
+        self.flits.is_empty() && self.credits.is_empty() && self.dead_drops.is_empty()
     }
 
     /// Flits currently in flight (test/invariant support).
@@ -96,7 +149,11 @@ mod tests {
     use super::*;
 
     fn flit(idx: u16) -> Flit {
-        Flit { pkt: 0, idx, len: 4 }
+        Flit {
+            pkt: 0,
+            idx,
+            len: 4,
+        }
     }
 
     #[test]
@@ -140,5 +197,31 @@ mod tests {
         let mut ch = Channel::new(2);
         ch.send_flit(0, flit(0), 0);
         ch.send_flit(0, flit(1), 0);
+    }
+
+    #[test]
+    fn kill_drops_in_flight_and_dead_drops_sends() {
+        let mut ch = Channel::new(3);
+        ch.send_flit(0, flit(0), 1);
+        ch.send_credit(0, 2);
+        let dropped = ch.kill();
+        assert_eq!(dropped, vec![(flit(0), 1)]);
+        assert!(!ch.is_alive());
+        let mut creds = Vec::new();
+        ch.recv_credits(100, |vc| creds.push(vc));
+        assert!(creds.is_empty(), "in-flight credits lost at kill");
+        // Sends into a dead channel land in the dead-drop bin.
+        ch.send_flit(5, flit(1), 0);
+        ch.send_credit(5, 0);
+        let mut got = Vec::new();
+        ch.recv_flits(100, |f, vc| got.push((f, vc)));
+        assert!(got.is_empty(), "dead channel delivers nothing");
+        assert!(ch.has_dead_drops());
+        assert_eq!(ch.take_dead_drops(), vec![(flit(1), 0)]);
+        ch.revive();
+        assert!(ch.is_alive());
+        ch.send_flit(10, flit(2), 0);
+        ch.recv_flits(13, |f, _| got.push((f, 0)));
+        assert_eq!(got, vec![(flit(2), 0)]);
     }
 }

@@ -44,6 +44,17 @@ pub struct SimConfig {
     /// escape-path requirement that makes DAL impractical; caps channel
     /// utilization at `PktSize x NumVcs / CreditRoundTrip`.
     pub atomic_queue_alloc: bool,
+    /// Watchdog: abort the simulation with a diagnostic report when no
+    /// flit moves anywhere for this many consecutive cycles while packets
+    /// are live (a wedged network). Must comfortably exceed the longest
+    /// channel latency; tests of deliberately wedged configurations lower
+    /// it for speed.
+    pub watchdog_stall_cycles: u64,
+    /// Livelock guard: a packet that accumulates this many router-to-router
+    /// hops is dropped (and counted) instead of being granted another hop.
+    /// Legitimate paths are bounded by `dims + deroutes`, so the generous
+    /// default only catches true routing livelock.
+    pub max_packet_hops: u8,
 }
 
 impl Default for SimConfig {
@@ -59,6 +70,8 @@ impl Default for SimConfig {
             max_packet_flits: 16,
             max_source_queue: 256,
             atomic_queue_alloc: false,
+            watchdog_stall_cycles: 10_000,
+            max_packet_hops: 64,
         }
     }
 }
@@ -74,6 +87,11 @@ impl SimConfig {
             self.max_packet_flits
         );
         assert!(self.max_packet_flits >= 1);
+        assert!(
+            self.watchdog_stall_cycles > self.router_chan_latency,
+            "watchdog window must exceed the longest channel latency"
+        );
+        assert!(self.max_packet_hops >= 1);
     }
 
     /// Approximate credit round-trip latency in cycles for a

@@ -1,0 +1,196 @@
+//! Runtime fault injection and watchdog diagnostics.
+//!
+//! A [`FaultSchedule`] kills and revives router-to-router links at given
+//! cycles while a simulation runs. Killing a link drops everything in
+//! flight on the wire and *poisons* every packet that was committed to or
+//! partially received across it; poisoned packets drain out of the network
+//! (their flits are discarded wherever they surface, with credits
+//! restored), are counted in `Stats::dropped_flits` /
+//! `Stats::dropped_packets`, and leave [`DropRecord`]s in an attached
+//! trace. Reviving a link rebuilds the sender's credit state from the
+//! receiver's actual buffer occupancy.
+//!
+//! The watchdog complements fault injection: when no flit moves anywhere
+//! for a configured number of cycles while packets are live, the
+//! simulation aborts with a [`WatchdogReport`] naming the stuck packets
+//! and each router's buffer/claim state — a wedged network fails loudly
+//! instead of burning cycles to a max-cycle timeout.
+
+use std::fmt;
+
+use crate::packet::PacketId;
+
+/// What a [`FaultEvent`] does to the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill the bidirectional link attached to `port` of `router`.
+    KillLink { router: usize, port: usize },
+    /// Revive a previously killed link.
+    ReviveLink { router: usize, port: usize },
+}
+
+/// One scheduled fault action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle the action applies (at the start of that cycle).
+    pub cycle: u64,
+    /// The action.
+    pub action: FaultAction,
+}
+
+/// A time-ordered list of fault actions applied while the simulation runs.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a link kill at `cycle`.
+    pub fn kill_link_at(mut self, cycle: u64, router: usize, port: usize) -> Self {
+        self.events.push(FaultEvent {
+            cycle,
+            action: FaultAction::KillLink { router, port },
+        });
+        self
+    }
+
+    /// Schedules a link revival at `cycle`.
+    pub fn revive_link_at(mut self, cycle: u64, router: usize, port: usize) -> Self {
+        self.events.push(FaultEvent {
+            cycle,
+            action: FaultAction::ReviveLink { router, port },
+        });
+        self
+    }
+
+    /// Whether no events remain.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Sorts events by cycle (stable, so same-cycle actions keep insertion
+    /// order). Called once when the schedule is attached.
+    pub(crate) fn finalize(&mut self) {
+        self.events.sort_by_key(|e| e.cycle);
+        self.next = 0;
+    }
+
+    /// Pops the next action due at or before `now`, if any.
+    pub(crate) fn pop_due(&mut self, now: u64) -> Option<FaultAction> {
+        let e = self.events.get(self.next)?;
+        if e.cycle > now {
+            return None;
+        }
+        self.next += 1;
+        Some(e.action)
+    }
+}
+
+/// Per-router state snapshot inside a [`WatchdogReport`].
+#[derive(Clone, Debug)]
+pub struct RouterDiag {
+    /// Router id.
+    pub router: usize,
+    /// Total flits buffered anywhere inside the router.
+    pub buffered_flits: usize,
+    /// Input-side VC occupancy: `(port, vc, flits)` for non-empty VCs.
+    pub occupancy: Vec<(u16, u8, usize)>,
+    /// Downstream VC claims held: `(port, vc, owner packet)`.
+    pub claimed: Vec<(u16, u8, PacketId)>,
+}
+
+/// Diagnostic dump produced when the watchdog aborts a wedged simulation.
+#[derive(Clone, Debug)]
+pub struct WatchdogReport {
+    /// Cycle the abort fired.
+    pub cycle: u64,
+    /// Consecutive cycles without a single flit movement.
+    pub stall_cycles: u64,
+    /// Packets still live (queued or in the network).
+    pub live_packets: usize,
+    /// Workload tag of the oldest live packet.
+    pub oldest_tag: u64,
+    /// Age in cycles of the oldest live packet.
+    pub oldest_age: u64,
+    /// Routers holding flits or claims (empty routers are omitted).
+    pub routers: Vec<RouterDiag>,
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "watchdog abort at cycle {}: no flit moved for {} cycles with {} live packets \
+             (oldest tag {} is {} cycles old)",
+            self.cycle, self.stall_cycles, self.live_packets, self.oldest_tag, self.oldest_age
+        )?;
+        for r in &self.routers {
+            writeln!(
+                f,
+                "  router {} ({} flits buffered):",
+                r.router, r.buffered_flits
+            )?;
+            for &(port, vc, n) in &r.occupancy {
+                writeln!(f, "    in  port {port} vc {vc}: {n} flits")?;
+            }
+            for &(port, vc, pkt) in &r.claimed {
+                writeln!(f, "    out port {port} vc {vc}: claimed by packet {pkt}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_pops_in_time_order() {
+        let mut s = FaultSchedule::new()
+            .kill_link_at(50, 1, 2)
+            .revive_link_at(10, 3, 4);
+        s.finalize();
+        assert!(s.pop_due(5).is_none());
+        assert_eq!(
+            s.pop_due(10),
+            Some(FaultAction::ReviveLink { router: 3, port: 4 })
+        );
+        assert!(s.pop_due(49).is_none());
+        assert_eq!(
+            s.pop_due(100),
+            Some(FaultAction::KillLink { router: 1, port: 2 })
+        );
+        assert!(s.is_done());
+        assert!(s.pop_due(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn report_display_mentions_everything() {
+        let rep = WatchdogReport {
+            cycle: 123,
+            stall_cycles: 45,
+            live_packets: 2,
+            oldest_tag: 7,
+            oldest_age: 99,
+            routers: vec![RouterDiag {
+                router: 3,
+                buffered_flits: 4,
+                occupancy: vec![(1, 0, 4)],
+                claimed: vec![(2, 5, 11)],
+            }],
+        };
+        let s = rep.to_string();
+        assert!(s.contains("cycle 123"));
+        assert!(s.contains("45 cycles"));
+        assert!(s.contains("router 3"));
+        assert!(s.contains("in  port 1 vc 0: 4 flits"));
+        assert!(s.contains("claimed by packet 11"));
+    }
+}

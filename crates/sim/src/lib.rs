@@ -23,6 +23,7 @@
 
 mod channel;
 mod config;
+mod fault;
 mod network;
 mod packet;
 mod router;
@@ -36,6 +37,7 @@ mod workload;
 
 pub use channel::Channel;
 pub use config::SimConfig;
+pub use fault::{FaultAction, FaultEvent, FaultSchedule, RouterDiag, WatchdogReport};
 pub use network::Network;
 pub use packet::{Flit, Packet, PacketId, PacketPool};
 pub use router::Router;
@@ -43,7 +45,7 @@ pub use runner::{run_steady_state, LoadPoint, SteadyOpts};
 pub use sim::Sim;
 pub use stats::{LatencyHist, Stats};
 pub use terminal::Terminal;
-pub use trace::{HopRecord, Trace};
+pub use trace::{DropReason, DropRecord, HopRecord, Trace};
 pub use workload::{Delivered, IdleWorkload, PacketDesc, Workload};
 
 #[cfg(test)]
@@ -74,9 +76,17 @@ mod tests {
                 hyperx_algorithm(name, hx.clone(), 8).unwrap().into();
             let mut sim = Sim::new(hx.clone(), algo, small_cfg(), 7);
             let dst = (hx.num_terminals() - 1) as u32;
-            sim.inject(PacketDesc { src: 0, dst, len: 16, tag: 99 });
+            sim.inject(PacketDesc {
+                src: 0,
+                dst,
+                len: 16,
+                tag: 99,
+            });
             sim.run(&mut IdleWorkload, 2_000);
-            assert_eq!(sim.stats.total_delivered_packets, 1, "{name}: not delivered");
+            assert_eq!(
+                sim.stats.total_delivered_packets, 1,
+                "{name}: not delivered"
+            );
             assert_eq!(sim.pool.live(), 0, "{name}: packet not released");
             assert!(sim.net.is_drained(), "{name}: network not drained");
         }
@@ -92,7 +102,12 @@ mod tests {
         let cfg = small_cfg();
         let mut sim = Sim::new(hx.clone(), algo, cfg, 7);
         // Terminal 0 -> router 0 -> router 1 -> terminal 1.
-        sim.inject(PacketDesc { src: 0, dst: 1, len: 1, tag: 0 });
+        sim.inject(PacketDesc {
+            src: 0,
+            dst: 1,
+            len: 1,
+            tag: 0,
+        });
         sim.run(&mut IdleWorkload, 500);
         assert_eq!(sim.stats.total_delivered_packets, 1);
         // Path: term chan (2) + r0 [<=2 + xbar 5] + router chan (8) +
@@ -114,7 +129,12 @@ mod tests {
             hyperx_algorithm("OmniWAR", hx.clone(), 8).unwrap().into();
         let mut sim = Sim::new(hx.clone(), algo, small_cfg(), 3);
         for i in 0..50 {
-            sim.inject(PacketDesc { src: 0, dst: 8, len: (i % 16) + 1, tag: i as u64 });
+            sim.inject(PacketDesc {
+                src: 0,
+                dst: 8,
+                len: (i % 16) + 1,
+                tag: i as u64,
+            });
         }
         sim.run(&mut IdleWorkload, 10_000);
         assert_eq!(sim.stats.total_delivered_packets, 50);
@@ -137,7 +157,12 @@ mod tests {
             };
             let mut sim = Sim::new(hx.clone(), algo, cfg, 3);
             for i in 0..400 {
-                sim.inject(PacketDesc { src: 0, dst: 1, len: 1, tag: i });
+                sim.inject(PacketDesc {
+                    src: 0,
+                    dst: 1,
+                    len: 1,
+                    tag: i,
+                });
             }
             sim.run(&mut IdleWorkload, 30_000);
             assert_eq!(sim.stats.total_delivered_packets, 400);
@@ -186,7 +211,12 @@ mod tests {
             fn pre_cycle(&mut self, _now: u64, inject: &mut dyn FnMut(PacketDesc) -> bool) {
                 if !self.0 {
                     self.0 = true;
-                    assert!(inject(PacketDesc { src: 0, dst: 5, len: 4, tag: 0 }));
+                    assert!(inject(PacketDesc {
+                        src: 0,
+                        dst: 5,
+                        len: 4,
+                        tag: 0
+                    }));
                 }
             }
             fn is_done(&self) -> bool {

@@ -7,14 +7,14 @@ use std::sync::Arc;
 use hxcore::RoutingAlgorithm;
 use hxtopo::{ChannelKind, PortTarget, Topology};
 
-
 use crate::channel::Channel;
 use crate::config::SimConfig;
+use crate::fault::FaultAction;
 use crate::packet::PacketPool;
-use crate::router::Router;
+use crate::router::{poison_packet, Router};
 use crate::stats::Stats;
 use crate::terminal::Terminal;
-use crate::trace::Trace;
+use crate::trace::{DropReason, Trace};
 use crate::workload::Delivered;
 
 /// A fully wired simulated network.
@@ -68,6 +68,7 @@ impl Network {
                         let id = channels.len();
                         channels.push(Channel::new(latency));
                         routers[r].out_chan[p] = Some(id);
+                        routers[r].live_ports[p] = true;
                         routers[router].in_chan[port] = Some(id);
                     }
                     PortTarget::Terminal(t) => {
@@ -78,6 +79,7 @@ impl Network {
                         routers[r].out_chan[p] = Some(eject);
                         routers[r].in_chan[p] = Some(inject);
                         routers[r].port_term[p] = Some(t as u32);
+                        routers[r].live_ports[p] = true;
                         term_wiring[t] = Some((inject, eject));
                     }
                     PortTarget::Unused => {}
@@ -116,10 +118,135 @@ impl Network {
         let topo = &*self.topo;
         let algo = &*self.algo;
         for r in &mut self.routers {
-            r.tick(now, topo, algo, pool, &mut self.channels, trace.as_deref_mut());
+            r.tick(
+                now,
+                topo,
+                algo,
+                pool,
+                stats,
+                &mut self.channels,
+                trace.as_deref_mut(),
+            );
         }
         for t in &mut self.terminals {
             t.tick(now, pool, &mut self.channels, stats, delivered);
+        }
+    }
+
+    /// Resolves the far end of a router-to-router link.
+    fn peer_of(&self, router: usize, port: usize) -> (usize, usize) {
+        match self.topo.port_target(router, port) {
+            PortTarget::Router {
+                router: r2,
+                port: p2,
+            } => (r2, p2),
+            other => panic!(
+                "fault injection targets router-to-router links; \
+                 router {router} port {port} leads to {other:?}"
+            ),
+        }
+    }
+
+    /// Applies one fault action to the running network.
+    ///
+    /// Killing a link takes down *both* directions of the cable: flits on
+    /// either wire are dropped (their packets poisoned), packets committed
+    /// to either dead port or left incomplete by the cut are poisoned, and
+    /// the routers' liveness masks flip so routing stops considering the
+    /// ports. Reviving purges stale egress remnants, clears the drop bins,
+    /// and rebuilds sender credits from the receivers' actual occupancy.
+    pub fn apply_fault(
+        &mut self,
+        action: FaultAction,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        mut trace: Option<&mut Trace>,
+    ) {
+        match action {
+            FaultAction::KillLink { router, port } => {
+                let (r2, p2) = self.peer_of(router, port);
+                for &(r, p) in &[(router, port), (r2, p2)] {
+                    self.routers[r].live_ports[p] = false;
+                    let ch = self.routers[r].out_chan[p].expect("killing an unwired port");
+                    for (flit, _) in self.channels[ch].kill() {
+                        poison_packet(
+                            pool,
+                            stats,
+                            trace.as_deref_mut(),
+                            flit.pkt,
+                            now,
+                            DropReason::LinkFailed,
+                        );
+                        stats.dropped_flits += 1;
+                        pool.note_flit_gone(flit.pkt);
+                    }
+                    self.routers[r].poison_port_traffic(p, pool, stats, trace.as_deref_mut(), now);
+                }
+            }
+            FaultAction::ReviveLink { router, port } => {
+                let (r2, p2) = self.peer_of(router, port);
+                for &(r, p, pr, pp) in &[(router, port, r2, p2), (r2, p2, router, port)] {
+                    self.routers[r].purge_egress(p, pool, stats);
+                    let ch = self.routers[r].out_chan[p].expect("reviving an unwired port");
+                    for (flit, _) in self.channels[ch].take_dead_drops() {
+                        poison_packet(
+                            pool,
+                            stats,
+                            trace.as_deref_mut(),
+                            flit.pkt,
+                            now,
+                            DropReason::LinkFailed,
+                        );
+                        stats.dropped_flits += 1;
+                        pool.note_flit_gone(flit.pkt);
+                    }
+                    self.channels[ch].revive();
+                    let occ: Vec<usize> = (0..self.cfg.num_vcs)
+                        .map(|vc| self.routers[pr].input_occupancy(pp, vc))
+                        .collect();
+                    self.routers[r].reset_out_credits(p, &occ);
+                    self.routers[r].live_ports[p] = true;
+                }
+            }
+        }
+        stats.fault_events += 1;
+    }
+
+    /// Sweeps fault fallout: drains dead channels' drop bins (poisoning the
+    /// owning packets) and reaps every poisoned buffer from routers and
+    /// terminals. Cheap when nothing is poisoned.
+    pub fn collect_fault_fallout(
+        &mut self,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        mut trace: Option<&mut Trace>,
+    ) {
+        for ch in 0..self.channels.len() {
+            if !self.channels[ch].has_dead_drops() {
+                continue;
+            }
+            for (flit, _) in self.channels[ch].take_dead_drops() {
+                poison_packet(
+                    pool,
+                    stats,
+                    trace.as_deref_mut(),
+                    flit.pkt,
+                    now,
+                    DropReason::LinkFailed,
+                );
+                stats.dropped_flits += 1;
+                pool.note_flit_gone(flit.pkt);
+            }
+        }
+        if pool.any_poisoned() {
+            for r in &mut self.routers {
+                r.reap_poisoned(now, pool, stats, &mut self.channels);
+            }
+            for t in &mut self.terminals {
+                t.reap_poisoned(pool);
+            }
         }
     }
 
@@ -173,18 +300,27 @@ impl Network {
         for r in &self.routers {
             for port in 0..self.topo.num_ports(r.id()) {
                 let Some(ch) = r.out_chan[port] else { continue };
-                let PortTarget::Router { router: r2, port: p2 } =
-                    self.topo.port_target(r.id(), port)
+                if !r.port_live(port) || !self.channels[ch].is_alive() {
+                    continue; // dead links settle their books at revival
+                }
+                let PortTarget::Router {
+                    router: r2,
+                    port: p2,
+                } = self.topo.port_target(r.id(), port)
                 else {
                     continue; // terminal links return credits instantly
                 };
                 for vc in 0..self.cfg.num_vcs {
                     let claimed = cap - r.credits(port, vc) as usize;
                     let chan = &self.channels[ch];
-                    let in_chan =
-                        chan.flits_in_flight().filter(|&(_, v)| v as usize == vc).count();
-                    let creds_back =
-                        chan.credits_in_flight().filter(|&v| v as usize == vc).count();
+                    let in_chan = chan
+                        .flits_in_flight()
+                        .filter(|&(_, v)| v as usize == vc)
+                        .count();
+                    let creds_back = chan
+                        .credits_in_flight()
+                        .filter(|&v| v as usize == vc)
+                        .count();
                     let observable = r.in_flight_to(port, vc)
                         + in_chan
                         + creds_back

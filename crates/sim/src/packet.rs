@@ -60,9 +60,23 @@ pub struct Packet {
 }
 
 /// Slab allocator for in-flight packets.
+///
+/// Fault support: a packet struck by a link failure is *poisoned* rather
+/// than freed — its flits may still sit in buffers, crossbar pipes, and
+/// wires, and the slot must not be recycled while any of them reference
+/// it. Every materialized flit is counted ([`Self::note_flit_created`] /
+/// [`Self::note_flit_gone`]); the slot is released automatically when the
+/// last flit of a poisoned packet is discarded or consumed.
 #[derive(Default)]
 pub struct PacketPool {
     slots: Vec<Packet>,
+    /// Per-slot liveness (parallel to `slots`).
+    alive: Vec<bool>,
+    /// Per-slot materialized-flit refcount (parallel to `slots`).
+    flits_out: Vec<u32>,
+    /// Per-slot poison flag (parallel to `slots`).
+    poisoned: Vec<bool>,
+    num_poisoned: usize,
     free: Vec<PacketId>,
     live: usize,
 }
@@ -77,11 +91,18 @@ impl PacketPool {
     pub fn alloc(&mut self, pkt: Packet) -> PacketId {
         self.live += 1;
         if let Some(id) = self.free.pop() {
-            self.slots[id as usize] = pkt;
+            let i = id as usize;
+            self.slots[i] = pkt;
+            self.alive[i] = true;
+            self.flits_out[i] = 0;
+            debug_assert!(!self.poisoned[i]);
             id
         } else {
             let id = self.slots.len() as PacketId;
             self.slots.push(pkt);
+            self.alive.push(true);
+            self.flits_out.push(0);
+            self.poisoned.push(false);
             id
         }
     }
@@ -100,14 +121,81 @@ impl PacketPool {
 
     /// Retires a packet after its tail flit is consumed at the destination.
     pub fn release(&mut self, id: PacketId) {
+        let i = id as usize;
         debug_assert!(self.live > 0);
+        debug_assert!(self.alive[i], "double release of packet {id}");
         self.live -= 1;
+        self.alive[i] = false;
+        if self.poisoned[i] {
+            self.poisoned[i] = false;
+            self.num_poisoned -= 1;
+        }
         self.free.push(id);
+    }
+
+    /// Marks a packet as struck by a fault. Returns `true` the first time
+    /// (callers count the packet drop then). If none of its flits are
+    /// materialized anywhere, the slot is released immediately; otherwise
+    /// it is held until the last flit is discarded.
+    pub fn poison(&mut self, id: PacketId) -> bool {
+        let i = id as usize;
+        if !self.alive[i] || self.poisoned[i] {
+            return false;
+        }
+        self.poisoned[i] = true;
+        self.num_poisoned += 1;
+        if self.flits_out[i] == 0 {
+            self.release(id);
+        }
+        true
+    }
+
+    /// Whether `id` is a poisoned, not-yet-drained packet.
+    #[inline]
+    pub fn is_poisoned(&self, id: PacketId) -> bool {
+        self.poisoned[id as usize]
+    }
+
+    /// Whether any poisoned packet still has flits in the network.
+    #[inline]
+    pub fn any_poisoned(&self) -> bool {
+        self.num_poisoned > 0
+    }
+
+    /// Records a reference to `id` entering the network: a materialized
+    /// flit, or a holder structure (a router's per-packet input buffer, a
+    /// terminal's in-progress injection) that may outlive the packet's
+    /// buffered flits and must pin the slot.
+    #[inline]
+    pub fn note_flit_created(&mut self, id: PacketId) {
+        self.flits_out[id as usize] += 1;
+    }
+
+    /// Records that a reference to `id` left the network (flit consumed at
+    /// the destination or discarded by fault fallout; holder structure
+    /// dismantled). Releases the slot when the last reference to a
+    /// poisoned packet disappears.
+    pub fn note_flit_gone(&mut self, id: PacketId) {
+        let i = id as usize;
+        debug_assert!(self.flits_out[i] > 0, "flit refcount underflow");
+        self.flits_out[i] -= 1;
+        if self.flits_out[i] == 0 && self.poisoned[i] {
+            self.release(id);
+        }
     }
 
     /// Number of packets currently alive inside the network or queues.
     pub fn live(&self) -> usize {
         self.live
+    }
+
+    /// Iterates live packets (watchdog diagnostics).
+    pub fn live_packets(&self) -> impl Iterator<Item = (PacketId, &Packet)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.alive[i])
+            .map(|(i, p)| (i as PacketId, p))
     }
 
     /// Total slots ever allocated (high-water mark).
@@ -136,9 +224,21 @@ mod tests {
 
     #[test]
     fn head_tail_flags() {
-        let f0 = Flit { pkt: 0, idx: 0, len: 3 };
-        let f2 = Flit { pkt: 0, idx: 2, len: 3 };
-        let single = Flit { pkt: 1, idx: 0, len: 1 };
+        let f0 = Flit {
+            pkt: 0,
+            idx: 0,
+            len: 3,
+        };
+        let f2 = Flit {
+            pkt: 0,
+            idx: 2,
+            len: 3,
+        };
+        let single = Flit {
+            pkt: 1,
+            idx: 0,
+            len: 1,
+        };
         assert!(f0.is_head() && !f0.is_tail());
         assert!(!f2.is_head() && f2.is_tail());
         assert!(single.is_head() && single.is_tail());
@@ -165,5 +265,46 @@ mod tests {
         let a = pool.alloc(pkt(4));
         pool.get_mut(a).hops = 3;
         assert_eq!(pool.get(a).hops, 3);
+    }
+
+    #[test]
+    fn poison_without_flits_releases_immediately() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc(pkt(4));
+        assert!(pool.poison(a));
+        assert_eq!(pool.live(), 0);
+        assert!(!pool.any_poisoned());
+        assert!(!pool.poison(a), "already released");
+    }
+
+    #[test]
+    fn poison_waits_for_outstanding_flits() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc(pkt(2));
+        pool.note_flit_created(a);
+        pool.note_flit_created(a);
+        assert!(pool.poison(a));
+        assert!(pool.is_poisoned(a));
+        assert_eq!(pool.live(), 1, "slot held while flits are out");
+        pool.note_flit_gone(a);
+        assert!(pool.any_poisoned());
+        pool.note_flit_gone(a);
+        assert_eq!(pool.live(), 0, "released with the last flit");
+        assert!(!pool.any_poisoned());
+        // The slot is recyclable again.
+        let b = pool.alloc(pkt(1));
+        assert_eq!(b, a);
+        assert!(!pool.is_poisoned(b));
+    }
+
+    #[test]
+    fn delivered_packets_are_not_poison_released() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc(pkt(1));
+        pool.note_flit_created(a);
+        pool.note_flit_gone(a); // consumed at destination, not poisoned
+        assert_eq!(pool.live(), 1, "normal delivery releases explicitly");
+        pool.release(a);
+        assert_eq!(pool.live(), 0);
     }
 }

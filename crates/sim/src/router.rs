@@ -23,8 +23,10 @@
 
 use std::collections::VecDeque;
 
-use hxcore::{Candidate, ClassMap, Commit, PacketRouteState, RouteCtx, RouterView,
-    RoutingAlgorithm, NO_INTERMEDIATE};
+use hxcore::{
+    Candidate, ClassMap, Commit, PacketRouteState, RouteCtx, RouterView, RoutingAlgorithm,
+    NO_INTERMEDIATE,
+};
 use hxtopo::Topology;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -32,15 +34,22 @@ use rand::{RngExt, SeedableRng};
 use crate::channel::Channel;
 use crate::config::SimConfig;
 use crate::packet::{Flit, PacketId, PacketPool};
-use crate::trace::{HopRecord, Trace};
+use crate::stats::Stats;
+use crate::trace::{DropReason, DropRecord, HopRecord, Trace};
 
-/// Congestion view over a router's output side (credits, claims, backlog).
+/// Arbitration sort key for routing candidates: `(weight, hops, random
+/// salt)`, compared lexicographically — lower wins.
+type CandKey = (u64, u8, u32);
+
+/// Congestion view over a router's output side (credits, claims, backlog,
+/// link liveness).
 struct OutView<'a> {
     num_vcs: usize,
     cap: usize,
     credits: &'a [u32],
     owner: &'a [Option<PacketId>],
     backlog: &'a [u32],
+    live: &'a [bool],
 }
 
 impl RouterView for OutView<'_> {
@@ -59,6 +68,32 @@ impl RouterView for OutView<'_> {
     fn queue_len(&self, port: usize) -> usize {
         self.backlog[port] as usize
     }
+    fn port_live(&self, port: usize) -> bool {
+        self.live[port]
+    }
+}
+
+/// Poisons `id` (if not already) and records the drop.
+pub(crate) fn poison_packet(
+    pool: &mut PacketPool,
+    stats: &mut Stats,
+    trace: Option<&mut Trace>,
+    id: PacketId,
+    now: u64,
+    reason: DropReason,
+) {
+    let tag = pool.get(id).tag;
+    if pool.poison(id) {
+        stats.dropped_packets += 1;
+        if let Some(t) = trace {
+            t.record_drop(DropRecord {
+                pkt: id,
+                tag,
+                cycle: now,
+                reason,
+            });
+        }
+    }
 }
 
 /// One buffered (possibly still-arriving) packet inside an input VC.
@@ -76,6 +111,9 @@ struct PktBuf {
     birth: u64,
     route: Option<(u16, u8)>,
     flits: VecDeque<Flit>,
+    /// Flits of this packet already forwarded out of this router (fault
+    /// fallout uses this to refund exactly the unsent credit reservation).
+    sent: u16,
 }
 
 /// One router instance.
@@ -108,6 +146,11 @@ pub struct Router {
     pub(crate) in_chan: Vec<Option<usize>>,
     /// Terminal id if the port is a terminal port.
     pub(crate) port_term: Vec<Option<u32>>,
+    /// Link liveness per port (false = unwired or failed; routing skips
+    /// and `pick_vc` refuses dead ports).
+    pub(crate) live_ports: Vec<bool>,
+    /// Livelock guard (`SimConfig::max_packet_hops`).
+    hop_cap: u8,
 
     rng: SmallRng,
     /// Total flits buffered on the input side (fast-path skip).
@@ -115,11 +158,19 @@ pub struct Router {
     // Scratch buffers reused every cycle.
     heads: Vec<(u64, PacketId, u16, u8)>,
     cands: Vec<Candidate>,
+    /// Scratch for flits pulled off a channel each ingress pass.
+    arrival_scratch: Vec<(Flit, u8)>,
 }
 
 impl Router {
     /// Creates router `id` with `num_ports` ports.
-    pub fn new(id: usize, num_ports: usize, cfg: &SimConfig, num_classes: usize, seed: u64) -> Self {
+    pub fn new(
+        id: usize,
+        num_ports: usize,
+        cfg: &SimConfig,
+        num_classes: usize,
+        seed: u64,
+    ) -> Self {
         let v = cfg.num_vcs;
         Router {
             id,
@@ -139,10 +190,13 @@ impl Router {
             out_chan: vec![None; num_ports],
             in_chan: vec![None; num_ports],
             port_term: vec![None; num_ports],
+            live_ports: vec![false; num_ports],
+            hop_cap: cfg.max_packet_hops,
             rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             flits_buffered: 0,
             heads: Vec::new(),
             cands: Vec::new(),
+            arrival_scratch: Vec::new(),
         }
     }
 
@@ -181,6 +235,11 @@ impl Router {
         self.out_owner[port * self.num_vcs + vc]
     }
 
+    /// Whether `port`'s outgoing link is up (wired and not failed).
+    pub fn port_live(&self, port: usize) -> bool {
+        self.live_ports[port]
+    }
+
     /// Flits inside the crossbar pipe or output queue heading to
     /// `(port, vc)` (invariant support).
     pub fn in_flight_to(&self, port: usize, vc: usize) -> usize {
@@ -204,48 +263,67 @@ impl Router {
     }
 
     /// One simulation cycle. `channels` is the global channel table.
+    #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
         now: u64,
         topo: &dyn Topology,
         algo: &dyn RoutingAlgorithm,
         pool: &mut PacketPool,
+        stats: &mut Stats,
         channels: &mut [Channel],
         trace: Option<&mut Trace>,
     ) {
-        self.ingress(now, pool, channels);
-        self.allocate(now, topo, algo, pool, trace);
-        self.switch_traverse(now, channels);
+        self.ingress(now, pool, stats, channels);
+        self.allocate(now, topo, algo, pool, stats, trace);
+        self.switch_traverse(now, pool, stats, channels);
         self.xbar_drain(now);
         self.link_egress(now, channels);
     }
 
-    /// Phase 1: accept arriving flits and returning credits.
-    fn ingress(&mut self, now: u64, pool: &PacketPool, channels: &mut [Channel]) {
+    /// Phase 1: accept arriving flits and returning credits. Flits of
+    /// poisoned packets are discarded on arrival, with their buffer
+    /// credit returned immediately.
+    fn ingress(
+        &mut self,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        channels: &mut [Channel],
+    ) {
+        let mut arrivals = std::mem::take(&mut self.arrival_scratch);
         for port in 0..self.num_ports {
             if let Some(ch) = self.in_chan[port] {
-                let v = self.num_vcs;
-                let base = port * v;
-                let in_q = &mut self.in_q;
-                let buffered = &mut self.flits_buffered;
-                channels[ch].recv_flits(now, |flit, vc| {
-                    let q = &mut in_q[base + vc as usize];
+                arrivals.clear();
+                channels[ch].recv_flits(now, |flit, vc| arrivals.push((flit, vc)));
+                for &(flit, vc) in arrivals.iter() {
+                    if pool.is_poisoned(flit.pkt) {
+                        // Discard and return the buffer credit right away:
+                        // the flit never occupies a slot here.
+                        channels[ch].send_credit(now, vc);
+                        stats.dropped_flits += 1;
+                        pool.note_flit_gone(flit.pkt);
+                        continue;
+                    }
+                    let q = &mut self.in_q[port * self.num_vcs + vc as usize];
                     if flit.is_head() {
                         q.push_back(PktBuf {
                             pkt: flit.pkt,
                             birth: pool.get(flit.pkt).birth,
                             route: None,
                             flits: VecDeque::with_capacity(flit.len as usize),
+                            sent: 0,
                         });
+                        // The buffer itself pins the packet slot until it
+                        // is dismantled (tail forwarded or fault-reaped).
+                        pool.note_flit_created(flit.pkt);
                     }
                     let back = q.back_mut().expect("body flit without a head");
-                    debug_assert_eq!(
-                        back.pkt, flit.pkt,
-                        "packets interleaved on one VC"
-                    );
+                    debug_assert_eq!(back.pkt, flit.pkt, "packets interleaved on one VC");
                     back.flits.push_back(flit);
-                    *buffered += 1;
-                });
+                    self.flits_buffered += 1;
+                    stats.flit_moves += 1;
+                }
             }
             if let Some(ch) = self.out_chan[port] {
                 let base = port * self.num_vcs;
@@ -257,6 +335,7 @@ impl Router {
                 });
             }
         }
+        self.arrival_scratch = arrivals;
     }
 
     /// Phase 2: route computation + virtual cut-through VC allocation,
@@ -267,6 +346,7 @@ impl Router {
         topo: &dyn Topology,
         algo: &dyn RoutingAlgorithm,
         pool: &mut PacketPool,
+        stats: &mut Stats,
         mut trace: Option<&mut Trace>,
     ) {
         if self.flits_buffered == 0 {
@@ -297,9 +377,14 @@ impl Router {
         let mut cands = std::mem::take(&mut self.cands);
         for &(_, pkt_id, port16, vc8) in &heads {
             let (port, vc) = (port16 as usize, vc8 as usize);
+            if pool.is_poisoned(pkt_id) {
+                // Fault fallout will reap this buffer; don't route it.
+                continue;
+            }
             let pkt = pool.get(pkt_id);
             let (dst_router, dst_term, len) = (pkt.dst_router as usize, pkt.dst as usize, pkt.len);
             let state = pkt.route;
+            let hops = pkt.hops;
 
             cands.clear();
             if dst_router == self.id {
@@ -307,7 +392,17 @@ impl Router {
                 // (classes don't apply to the terminal link).
                 let (_, eject_port) = topo.terminal_attach(dst_term);
                 if let Some(out_vc) = self.pick_vc(eject_port, 0..self.num_vcs, len) {
-                    self.grant(pool, pkt_id, port, vc, eject_port, out_vc, len, Commit::None, false);
+                    self.grant(
+                        pool,
+                        pkt_id,
+                        port,
+                        vc,
+                        eject_port,
+                        out_vc,
+                        len,
+                        Commit::None,
+                        false,
+                    );
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(HopRecord {
                             pkt: pkt_id,
@@ -323,12 +418,27 @@ impl Router {
                 continue;
             }
 
+            // Livelock guard: a packet that has burned its hop budget is
+            // dropped instead of granted another network hop.
+            if hops >= self.hop_cap {
+                poison_packet(
+                    pool,
+                    stats,
+                    trace.as_deref_mut(),
+                    pkt_id,
+                    now,
+                    DropReason::HopCap,
+                );
+                continue;
+            }
+
             let view = OutView {
                 num_vcs: self.num_vcs,
                 cap: self.buf_cap as usize,
                 credits: &self.out_credits,
                 owner: &self.out_owner,
                 backlog: &self.out_backlog,
+                live: &self.live_ports,
             };
             let ctx = RouteCtx {
                 router: self.id,
@@ -342,7 +452,12 @@ impl Router {
                 view: &view,
             };
             algo.route(&ctx, &mut self.rng, &mut cands);
-            debug_assert!(!cands.is_empty(), "routing produced no candidates");
+            // With every port up an empty candidate set is a routing bug;
+            // under faults it just means "wait for a revival or a reroute".
+            debug_assert!(
+                !cands.is_empty() || self.live_ports.iter().any(|&l| !l),
+                "routing produced no candidates on a fault-free router"
+            );
 
             // "Choose the output with the minimal weight" (Sections 5.1/5.2):
             // the best-weighted candidate is selected *before* checking
@@ -352,11 +467,11 @@ impl Router {
             // turns transient credit exhaustion into spurious deroutes and
             // destabilizes the network near saturation.) Ties prefer fewer
             // hops, then a random draw to avoid systematic port bias.
-            let mut best: Option<((u64, u8, u32), usize, u8, Commit)> = None;
+            let mut best: Option<(CandKey, usize, u8, Commit)> = None;
             for c in &cands {
                 let salt = self.rng.random::<u32>();
                 let key = (c.weight, c.hops, salt);
-                if best.as_ref().map_or(true, |(k, ..)| *k > key) {
+                if best.as_ref().is_none_or(|(k, ..)| *k > key) {
                     best = Some((key, c.port as usize, c.class, c.commit));
                 }
             }
@@ -385,13 +500,8 @@ impl Router {
     /// Picks the feasible VC with most free space in `range` for a packet
     /// of `len` flits, honoring virtual cut-through (whole-packet credits)
     /// and atomic queue allocation.
-    fn pick_vc(
-        &self,
-        port: usize,
-        range: std::ops::Range<usize>,
-        len: u16,
-    ) -> Option<usize> {
-        if self.out_chan[port].is_none() {
+    fn pick_vc(&self, port: usize, range: std::ops::Range<usize>, len: u16) -> Option<usize> {
+        if self.out_chan[port].is_none() || !self.live_ports[port] {
             return None;
         }
         let mut best: Option<(u32, usize)> = None;
@@ -406,7 +516,7 @@ impl Router {
             } else {
                 cr >= len as u32
             };
-            if ok && best.map_or(true, |(b, _)| cr > b) {
+            if ok && best.is_none_or(|(b, _)| cr > b) {
                 best = Some((cr, vc));
             }
         }
@@ -449,10 +559,17 @@ impl Router {
     /// Phase 3: each input port forwards up to `crossbar_speedup` flits
     /// (oldest routed packet first) into the crossbar, returning credits
     /// upstream.
-    fn switch_traverse(&mut self, now: u64, channels: &mut [Channel]) {
+    fn switch_traverse(
+        &mut self,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        channels: &mut [Channel],
+    ) {
         if self.flits_buffered == 0 {
             return;
         }
+        let any_poisoned = pool.any_poisoned();
         for port in 0..self.num_ports {
             for _ in 0..self.xbar_speedup {
                 // Oldest routed packet with buffered flits on this input
@@ -464,7 +581,11 @@ impl Router {
                         if buf.route.is_none() || buf.flits.is_empty() {
                             continue;
                         }
-                        if pick.map_or(true, |p| (p.0, p.1) > (buf.birth, buf.pkt)) {
+                        if any_poisoned && pool.is_poisoned(buf.pkt) {
+                            // Held for the fault reaper; don't forward.
+                            continue;
+                        }
+                        if pick.is_none_or(|p| (p.0, p.1) > (buf.birth, buf.pkt)) {
                             pick = Some((buf.birth, buf.pkt, vc, bi));
                         }
                     }
@@ -474,9 +595,12 @@ impl Router {
                 let buf = &mut self.in_q[i][bi];
                 let (out_port, out_vc) = buf.route.expect("picked a routed packet");
                 let flit = buf.flits.pop_front().expect("picked a non-empty packet");
+                buf.sent += 1;
                 self.flits_buffered -= 1;
+                stats.flit_moves += 1;
                 if flit.is_tail() {
                     self.in_q[i].remove(bi);
+                    pool.note_flit_gone(flit.pkt); // the buffer's own pin
                     let o = self.pv(out_port as usize, out_vc as usize);
                     debug_assert_eq!(self.out_owner[o], Some(flit.pkt));
                     self.out_owner[o] = None;
@@ -513,6 +637,135 @@ impl Router {
             }
         }
     }
+
+    /// Fault fallout: poisons every packet committed to `port` and every
+    /// packet still arriving (incomplete) on input `port`. Called when the
+    /// link attached to `port` dies; the buffers themselves are removed by
+    /// [`Self::reap_poisoned`].
+    pub(crate) fn poison_port_traffic(
+        &mut self,
+        port: usize,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        mut trace: Option<&mut Trace>,
+        now: u64,
+    ) {
+        // Packets granted the dead output port (from any input VC).
+        for q in &self.in_q {
+            for buf in q {
+                if buf.route.is_some_and(|(p, _)| p as usize == port) {
+                    poison_packet(
+                        pool,
+                        stats,
+                        trace.as_deref_mut(),
+                        buf.pkt,
+                        now,
+                        DropReason::LinkFailed,
+                    );
+                }
+            }
+        }
+        // Incomplete packets whose remaining flits were on the dead wire.
+        for vc in 0..self.num_vcs {
+            let i = self.pv(port, vc);
+            for buf in &self.in_q[i] {
+                let len = pool.get(buf.pkt).len;
+                if (buf.sent as usize + buf.flits.len()) < len as usize {
+                    poison_packet(
+                        pool,
+                        stats,
+                        trace.as_deref_mut(),
+                        buf.pkt,
+                        now,
+                        DropReason::LinkFailed,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fault fallout: removes every buffered packet that has been poisoned,
+    /// returning input-buffer credits upstream, releasing downstream VC
+    /// claims, and refunding the unsent part of the cut-through credit
+    /// reservation.
+    pub(crate) fn reap_poisoned(
+        &mut self,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        channels: &mut [Channel],
+    ) {
+        if !pool.any_poisoned() {
+            return;
+        }
+        for port in 0..self.num_ports {
+            for vc in 0..self.num_vcs {
+                let i = self.pv(port, vc);
+                let mut bi = 0;
+                while bi < self.in_q[i].len() {
+                    if !pool.is_poisoned(self.in_q[i][bi].pkt) {
+                        bi += 1;
+                        continue;
+                    }
+                    let buf = self.in_q[i].remove(bi).expect("indexed buffer exists");
+                    let len = pool.get(buf.pkt).len;
+                    if let Some((op, ov)) = buf.route {
+                        let o = self.pv(op as usize, ov as usize);
+                        debug_assert_eq!(self.out_owner[o], Some(buf.pkt));
+                        self.out_owner[o] = None;
+                        // Refund the reservation for flits never forwarded.
+                        // (Flits already sent return their credit from the
+                        // receiver — or never, if they died on the wire; a
+                        // revival rebuilds dead-port credits from scratch.)
+                        let refund = (len - buf.sent) as u32;
+                        self.out_credits[o] = (self.out_credits[o] + refund).min(self.buf_cap);
+                    }
+                    for flit in buf.flits {
+                        self.flits_buffered -= 1;
+                        stats.dropped_flits += 1;
+                        if let Some(ch) = self.in_chan[port] {
+                            channels[ch].send_credit(now, vc as u8);
+                        }
+                        pool.note_flit_gone(flit.pkt);
+                    }
+                    pool.note_flit_gone(buf.pkt); // the buffer's own pin
+                }
+            }
+        }
+    }
+
+    /// Fault fallout: discards every crossbar-pipe and output-queue flit
+    /// heading to `port`. Called before reviving the attached link so stale
+    /// remnants of killed packets never reach the fresh wire.
+    pub(crate) fn purge_egress(&mut self, port: usize, pool: &mut PacketPool, stats: &mut Stats) {
+        let xbar = std::mem::take(&mut self.xbar);
+        for (t, flit, op, ov) in xbar {
+            if op as usize == port {
+                self.out_backlog[port] -= 1;
+                stats.dropped_flits += 1;
+                pool.note_flit_gone(flit.pkt);
+            } else {
+                self.xbar.push_back((t, flit, op, ov));
+            }
+        }
+        let q = std::mem::take(&mut self.out_q[port]);
+        for (flit, _) in q {
+            self.out_backlog[port] -= 1;
+            stats.dropped_flits += 1;
+            pool.note_flit_gone(flit.pkt);
+        }
+    }
+
+    /// Rebuilds downstream credit state for `port` after a link revival:
+    /// capacity minus the receiver's actual buffer occupancy per VC.
+    pub(crate) fn reset_out_credits(&mut self, port: usize, occupancy: &[usize]) {
+        debug_assert_eq!(occupancy.len(), self.num_vcs);
+        for (vc, &occ) in occupancy.iter().enumerate() {
+            let i = self.pv(port, vc);
+            debug_assert!(self.out_owner[i].is_none(), "claim survived a dead link");
+            self.out_credits[i] = self.buf_cap - occ as u32;
+        }
+    }
 }
 
 /// Applies a routing commit to packet state.
@@ -539,7 +792,13 @@ mod tests {
     #[test]
     fn apply_commit_variants() {
         let mut s = PacketRouteState::default();
-        apply_commit(&mut s, Commit::SetValiant { intermediate: 7, phase: 0 });
+        apply_commit(
+            &mut s,
+            Commit::SetValiant {
+                intermediate: 7,
+                phase: 0,
+            },
+        );
         assert_eq!(s.intermediate, 7);
         assert_eq!(s.phase, 0);
         apply_commit(&mut s, Commit::SetPhase(1));

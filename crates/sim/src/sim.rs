@@ -7,6 +7,7 @@ use hxcore::{PacketRouteState, RoutingAlgorithm};
 use hxtopo::Topology;
 
 use crate::config::SimConfig;
+use crate::fault::{FaultSchedule, RouterDiag, WatchdogReport};
 use crate::network::Network;
 use crate::packet::{Packet, PacketPool};
 use crate::stats::Stats;
@@ -29,6 +30,17 @@ pub struct Sim {
     /// Hop-level trace, populated when enabled via [`Sim::enable_tracing`].
     pub trace: Option<Trace>,
     delivered_buf: Vec<Delivered>,
+    /// Pending fault injections, if any.
+    fault_schedule: Option<FaultSchedule>,
+    /// Whether any fault has ever been applied (enables fallout sweeps
+    /// and the debug-build credit audit).
+    fault_mode: bool,
+    /// `stats.flit_moves` at the last cycle that made progress.
+    last_flit_moves: u64,
+    /// Consecutive cycles without any flit movement while packets live.
+    stall_streak: u64,
+    /// Set when the watchdog aborts the run.
+    watchdog: Option<WatchdogReport>,
 }
 
 impl Sim {
@@ -47,7 +59,24 @@ impl Sim {
             refused_packets: 0,
             trace: None,
             delivered_buf: Vec::new(),
+            fault_schedule: None,
+            fault_mode: false,
+            last_flit_moves: 0,
+            stall_streak: 0,
+            watchdog: None,
         }
+    }
+
+    /// Attaches a fault schedule; its actions fire as the simulation
+    /// reaches their cycles. Replaces any previous schedule.
+    pub fn set_fault_schedule(&mut self, mut schedule: FaultSchedule) {
+        schedule.finalize();
+        self.fault_schedule = Some(schedule);
+    }
+
+    /// The watchdog's diagnostic report, if the run was aborted as wedged.
+    pub fn watchdog_report(&self) -> Option<&WatchdogReport> {
+        self.watchdog.as_ref()
     }
 
     /// Turns on hop-level tracing (records every VC-allocation grant; see
@@ -88,6 +117,30 @@ impl Sim {
     /// Advances one cycle under `workload`.
     pub fn step(&mut self, workload: &mut dyn Workload) {
         let now = self.now;
+        // Scheduled faults land at the start of their cycle.
+        if let Some(mut schedule) = self.fault_schedule.take() {
+            while let Some(action) = schedule.pop_due(now) {
+                self.fault_mode = true;
+                self.net.apply_fault(
+                    action,
+                    now,
+                    &mut self.pool,
+                    &mut self.stats,
+                    self.trace.as_mut(),
+                );
+            }
+            self.fault_schedule = Some(schedule);
+        }
+        if self.pool.any_poisoned() {
+            // Reap the kill's casualties before they are ticked.
+            self.net.collect_fault_fallout(
+                now,
+                &mut self.pool,
+                &mut self.stats,
+                self.trace.as_mut(),
+            );
+        }
+
         // The closure injects directly so the workload observes refusals
         // (source-queue backpressure) synchronously.
         workload.pre_cycle(now, &mut |d| self.inject(d));
@@ -106,19 +159,100 @@ impl Sim {
         }
         self.delivered_buf = delivered;
 
+        if self.fault_mode {
+            self.net.collect_fault_fallout(
+                now,
+                &mut self.pool,
+                &mut self.stats,
+                self.trace.as_mut(),
+            );
+            // With faults settled and nothing mid-drop, flow control must
+            // balance exactly (debug builds only; the audit walks every
+            // channel).
+            #[cfg(debug_assertions)]
+            if !self.pool.any_poisoned() {
+                let errs = self.net.audit_flow_control();
+                assert!(errs.is_empty(), "credit conservation violated: {errs:?}");
+            }
+        }
+
+        self.check_watchdog();
         self.now += 1;
     }
 
-    /// Advances `cycles` cycles.
+    /// Stall detection: abort when no flit has moved anywhere for
+    /// `watchdog_stall_cycles` consecutive cycles while packets are live.
+    fn check_watchdog(&mut self) {
+        if self.pool.live() == 0 || self.stats.flit_moves != self.last_flit_moves {
+            self.last_flit_moves = self.stats.flit_moves;
+            self.stall_streak = 0;
+            return;
+        }
+        self.stall_streak += 1;
+        if self.stall_streak >= self.net.cfg.watchdog_stall_cycles && self.watchdog.is_none() {
+            self.watchdog = Some(self.build_watchdog_report());
+        }
+    }
+
+    /// Snapshots the wedged network for the abort diagnostic.
+    fn build_watchdog_report(&self) -> WatchdogReport {
+        let (mut oldest_tag, mut oldest_age) = (0, 0);
+        for (_, pkt) in self.pool.live_packets() {
+            let age = self.now.saturating_sub(pkt.birth);
+            if age >= oldest_age {
+                oldest_age = age;
+                oldest_tag = pkt.tag;
+            }
+        }
+        let mut routers = Vec::new();
+        for r in 0..self.net.topo.num_routers() {
+            let router = self.net.router(r);
+            let mut occupancy = Vec::new();
+            let mut claimed = Vec::new();
+            for port in 0..self.net.topo.num_ports(r) {
+                for vc in 0..self.net.cfg.num_vcs {
+                    let occ = router.input_occupancy(port, vc);
+                    if occ > 0 {
+                        occupancy.push((port as u16, vc as u8, occ));
+                    }
+                    if let Some(owner) = router.vc_owner(port, vc) {
+                        claimed.push((port as u16, vc as u8, owner));
+                    }
+                }
+            }
+            if !occupancy.is_empty() || !claimed.is_empty() {
+                routers.push(RouterDiag {
+                    router: r,
+                    buffered_flits: router.total_flits(),
+                    occupancy,
+                    claimed,
+                });
+            }
+        }
+        WatchdogReport {
+            cycle: self.now,
+            stall_cycles: self.stall_streak,
+            live_packets: self.pool.live(),
+            oldest_tag,
+            oldest_age,
+            routers,
+        }
+    }
+
+    /// Advances `cycles` cycles, stopping early on a watchdog abort.
     pub fn run(&mut self, workload: &mut dyn Workload, cycles: u64) {
         for _ in 0..cycles {
             self.step(workload);
+            if self.watchdog.is_some() {
+                break;
+            }
         }
     }
 
     /// Runs until the workload reports done *and* the network drains, or
     /// `max_cycles` elapses. Returns the cycle at which everything
-    /// completed, or `None` on timeout.
+    /// completed, or `None` on timeout or watchdog abort (check
+    /// [`Sim::watchdog_report`] to distinguish).
     pub fn run_to_completion(
         &mut self,
         workload: &mut dyn Workload,
@@ -127,6 +261,9 @@ impl Sim {
         let deadline = self.now + max_cycles;
         while self.now < deadline {
             self.step(workload);
+            if self.watchdog.is_some() {
+                return None;
+            }
             if workload.is_done() && self.pool.live() == 0 && self.net.is_drained() {
                 return Some(self.now);
             }

@@ -90,6 +90,17 @@ pub struct Stats {
     pub total_delivered_flits: u64,
     /// Lifetime delivered packets.
     pub total_delivered_packets: u64,
+    /// Lifetime flits discarded by fault fallout (dead wires, poisoned
+    /// buffers, stranded egress remnants).
+    pub dropped_flits: u64,
+    /// Lifetime packets dropped by faults or the livelock hop cap.
+    pub dropped_packets: u64,
+    /// Lifetime fault-schedule actions applied (kills + revivals).
+    pub fault_events: u64,
+    /// Lifetime count of flit movements anywhere in the network (ingress
+    /// accepts, switch traversals, injections, ejections). The watchdog
+    /// compares successive values to detect a wedged network.
+    pub flit_moves: u64,
 }
 
 impl Stats {
@@ -181,9 +192,9 @@ mod tests {
         }
         assert_eq!(h.count(), 5);
         let p50 = h.quantile(0.5);
-        assert!(p50 >= 16.0 && p50 <= 64.0, "p50={p50}");
+        assert!((16.0..=64.0).contains(&p50), "p50={p50}");
         let p99 = h.quantile(0.99);
-        assert!(p99 >= 512.0 && p99 <= 2048.0, "p99={p99}");
+        assert!((512.0..=2048.0).contains(&p99), "p99={p99}");
     }
 
     #[test]

@@ -86,7 +86,8 @@ impl Terminal {
         channels[self.in_chan].recv_flits(now, |flit, vc| scratch.push((flit, vc)));
         for &(flit, vc) in &scratch {
             channels[self.in_chan].send_credit(now, vc);
-            if flit.is_tail() {
+            stats.flit_moves += 1;
+            if flit.is_tail() && !pool.is_poisoned(flit.pkt) {
                 let pkt = pool.get(flit.pkt);
                 debug_assert_eq!(pkt.dst as usize, self.id, "misrouted packet");
                 let latency = now - pkt.birth;
@@ -100,7 +101,11 @@ impl Terminal {
                     latency,
                     hops: pkt.hops,
                 });
+                pool.note_flit_gone(flit.pkt);
                 pool.release(flit.pkt);
+            } else {
+                // Body flit, or the remnant of a fault-killed packet.
+                pool.note_flit_gone(flit.pkt);
             }
         }
         self.eject_scratch = scratch;
@@ -117,7 +122,7 @@ impl Terminal {
                 for (vc, &cr) in self.credits.iter().enumerate() {
                     if cr >= len {
                         let salt = rand::RngExt::random::<u32>(&mut self.rng);
-                        if best.map_or(true, |(b, s, _)| (cr, salt) > (b, s)) {
+                        if best.is_none_or(|(b, s, _)| (cr, salt) > (b, s)) {
                             best = Some((cr, salt, vc));
                         }
                     }
@@ -127,18 +132,41 @@ impl Terminal {
                     self.credits[vc] -= len;
                     self.cur = Some((pkt_id, 0, vc as u8));
                     pool.get_mut(pkt_id).inject = now;
+                    // The in-progress injection pins the packet slot.
+                    pool.note_flit_created(pkt_id);
                 }
             }
         }
         if let Some((pkt_id, idx, vc)) = self.cur {
             let len = pool.get(pkt_id).len;
-            let flit = Flit { pkt: pkt_id, idx, len };
+            let flit = Flit {
+                pkt: pkt_id,
+                idx,
+                len,
+            };
+            pool.note_flit_created(pkt_id);
             channels[self.out_chan].send_flit(now, flit, vc);
             stats.record_injection();
+            stats.flit_moves += 1;
             if flit.is_tail() {
                 self.cur = None;
+                pool.note_flit_gone(pkt_id); // drop the injection pin
             } else {
                 self.cur = Some((pkt_id, idx + 1, vc));
+            }
+        }
+    }
+
+    /// Fault fallout: abandons an in-progress injection whose packet was
+    /// poisoned, refunding the credit reservation for the unsent flits.
+    /// (Flits already sent return their credits through the router.)
+    pub(crate) fn reap_poisoned(&mut self, pool: &mut PacketPool) {
+        if let Some((pkt_id, idx, vc)) = self.cur {
+            if pool.is_poisoned(pkt_id) {
+                let len = pool.get(pkt_id).len;
+                self.credits[vc as usize] += (len - idx) as u32;
+                self.cur = None;
+                pool.note_flit_gone(pkt_id); // drop the injection pin
             }
         }
     }

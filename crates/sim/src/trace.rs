@@ -30,10 +30,34 @@ pub struct HopRecord {
     pub cycle: u64,
 }
 
+/// Why a packet was dropped by fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Struck by a link failure (flits on the dead wire, committed to the
+    /// dead port, or partially received across it).
+    LinkFailed,
+    /// Exceeded the configured `max_packet_hops` livelock guard.
+    HopCap,
+}
+
+/// One packet drop caused by fault injection or the livelock guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DropRecord {
+    /// The dropped packet (pool slot; see [`HopRecord::pkt`]).
+    pub pkt: PacketId,
+    /// The packet's workload tag.
+    pub tag: u64,
+    /// Cycle the drop was decided.
+    pub cycle: u64,
+    /// What killed it.
+    pub reason: DropReason,
+}
+
 /// An append-only hop log.
 #[derive(Default, Debug)]
 pub struct Trace {
     hops: Vec<HopRecord>,
+    drops: Vec<DropRecord>,
 }
 
 impl Trace {
@@ -46,6 +70,17 @@ impl Trace {
     #[inline]
     pub(crate) fn record(&mut self, rec: HopRecord) {
         self.hops.push(rec);
+    }
+
+    /// Records one fault-caused packet drop.
+    #[inline]
+    pub(crate) fn record_drop(&mut self, rec: DropRecord) {
+        self.drops.push(rec);
+    }
+
+    /// All recorded packet drops, in drop order.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
     }
 
     /// All recorded hops, in grant order.
@@ -85,6 +120,7 @@ impl Trace {
     /// Drops all records.
     pub fn clear(&mut self) {
         self.hops.clear();
+        self.drops.clear();
     }
 }
 

@@ -39,7 +39,7 @@ impl HyperXDesign {
 /// The paper's examples for 64-port routers are recovered exactly:
 /// 10,648 terminals in 2D and 78,608 in 3D.
 pub fn best_hyperx(radix: usize, dims: usize) -> Option<HyperXDesign> {
-    assert!(dims >= 1 && dims <= crate::MAX_DIMS);
+    assert!((1..=crate::MAX_DIMS).contains(&dims));
     let mut best: Option<HyperXDesign> = None;
     // Base width s, with m dimensions promoted to s+1 (0 <= m <= dims).
     for s in 2..=radix {
@@ -81,7 +81,7 @@ pub fn best_hyperx(radix: usize, dims: usize) -> Option<HyperXDesign> {
                 terminals,
                 ports_used: net_ports + t,
             };
-            if best.as_ref().map_or(true, |b| cand.terminals > b.terminals) {
+            if best.as_ref().is_none_or(|b| cand.terminals > b.terminals) {
                 best = Some(cand);
             }
         }
@@ -192,7 +192,7 @@ mod tests {
         assert_eq!(d.h, 16);
         assert_eq!(d.groups, 513);
         assert_eq!(d.terminals, 16 * 32 * 513); // 262,656
-        // Uses 4p-1 = 63 <= 64 ports.
+                                                // Uses 4p-1 = 63 <= 64 ports.
         let df = crate::Dragonfly::maximal(d.p, d.a, d.h);
         assert_eq!(df.num_terminals(), d.terminals);
         assert!(df.max_ports() <= 64);

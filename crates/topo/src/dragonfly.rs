@@ -215,7 +215,10 @@ impl Topology for Dragonfly {
     }
 
     fn name(&self) -> String {
-        format!("Dragonfly(p={},a={},h={},g={})", self.p, self.a, self.h, self.g)
+        format!(
+            "Dragonfly(p={},a={},h={},g={})",
+            self.p, self.a, self.h, self.g
+        )
     }
 }
 
@@ -257,8 +260,14 @@ mod tests {
         let (r10, _) = df.global_attach(1, 0).unwrap();
         assert_eq!(df.min_router_hops(r01, r10), 1);
         // Worst case local-global-local = 3.
-        let far_a = (0..4).map(|i| df.router_id(0, i)).find(|&r| r != r01).unwrap();
-        let far_b = (0..4).map(|i| df.router_id(1, i)).find(|&r| r != r10).unwrap();
+        let far_a = (0..4)
+            .map(|i| df.router_id(0, i))
+            .find(|&r| r != r01)
+            .unwrap();
+        let far_b = (0..4)
+            .map(|i| df.router_id(1, i))
+            .find(|&r| r != r10)
+            .unwrap();
         assert_eq!(df.min_router_hops(far_a, far_b), 3);
     }
 

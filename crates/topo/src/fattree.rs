@@ -27,7 +27,10 @@ impl FatTree {
     /// # Panics
     /// Panics unless `k` is even and at least 2.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat tree radix must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat tree radix must be even and >= 2"
+        );
         FatTree { k }
     }
 
@@ -190,7 +193,10 @@ impl Topology for FatTree {
     }
 
     fn min_router_hops(&self, a: usize, b: usize) -> usize {
-        assert!(self.level(a) == 0 && self.level(b) == 0, "distances are edge-to-edge");
+        assert!(
+            self.level(a) == 0 && self.level(b) == 0,
+            "distances are edge-to-edge"
+        );
         if a == b {
             0
         } else if self.pod_of(a) == self.pod_of(b) {

@@ -23,6 +23,7 @@ mod coord;
 mod design;
 mod dragonfly;
 mod fattree;
+mod fault;
 mod hyperx;
 mod traits;
 
@@ -32,5 +33,6 @@ pub use design::{
 };
 pub use dragonfly::Dragonfly;
 pub use fattree::FatTree;
+pub use fault::{DegradedTopology, FaultError, FaultSet};
 pub use hyperx::HyperX;
 pub use traits::{check_distance_metric, check_wiring, ChannelKind, PortTarget, Topology};

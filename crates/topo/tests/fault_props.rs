@@ -1,0 +1,136 @@
+//! Property tests for degraded topologies: any connectivity-preserving
+//! link-failure degradation of a HyperX still satisfies the topology
+//! contracts (`check_wiring`, `check_distance_metric`), never shortens a
+//! path, and — driven end-to-end through the simulator — the paper's
+//! incremental adaptive algorithms still deliver every packet on it.
+
+use std::sync::Arc;
+
+use hxcore::{hyperx_algorithm, RoutingAlgorithm};
+use hxsim::{PacketDesc, Sim, SimConfig, Workload};
+use hxtopo::{check_distance_metric, check_wiring, DegradedTopology, FaultSet, HyperX, Topology};
+use proptest::prelude::*;
+
+/// Arbitrary small HyperX shapes (1-3 dims, widths 2-5, 1-2 terminals).
+fn hyperx_strategy() -> impl Strategy<Value = HyperX> {
+    (prop::collection::vec(2usize..=5, 1..=3), 1usize..=2)
+        .prop_map(|(widths, t)| HyperX::new(&widths, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A connectivity-preserving single-link failure keeps the topology
+    /// contracts intact and can only lengthen paths.
+    #[test]
+    fn single_link_degradation_keeps_contracts(
+        hx in hyperx_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let hx = Arc::new(hx);
+        let faults = FaultSet::random_links(&*hx, 1, seed);
+        // A 1D width-2 HyperX has no removable cable; nothing to test.
+        prop_assume!(faults.num_links() == 1);
+        let deg = DegradedTopology::new(hx.clone(), faults)
+            .expect("random_links preserves connectivity");
+        prop_assert_eq!(deg.num_failed_cables(), 1);
+        check_wiring(&deg);
+        check_distance_metric(&deg);
+        for a in 0..hx.num_routers() {
+            for b in 0..hx.num_routers() {
+                prop_assert!(
+                    deg.min_router_hops(a, b) >= hx.min_router_hops(a, b),
+                    "removing a link shortened {}->{}",
+                    a,
+                    b
+                );
+            }
+        }
+        prop_assert!(deg.diameter() >= hx.diameter());
+    }
+
+    /// Multi-link fault sets drawn by `random_links` are connectivity-
+    /// preserving by construction, so the degraded wrapper always builds
+    /// and keeps the contracts.
+    #[test]
+    fn random_multi_link_degradation_keeps_contracts(
+        hx in hyperx_strategy(),
+        n in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let hx = Arc::new(hx);
+        let faults = FaultSet::random_links(&*hx, n, seed);
+        prop_assume!(!faults.is_empty());
+        let deg = DegradedTopology::new(hx.clone(), faults)
+            .expect("random_links preserves connectivity");
+        check_wiring(&deg);
+        check_distance_metric(&deg);
+    }
+}
+
+/// All traffic is injected up front, so the workload is done from cycle 0
+/// and `run_to_completion` returns as soon as the network drains.
+struct Preloaded;
+
+impl Workload for Preloaded {
+    fn pre_cycle(&mut self, _now: u64, _inject: &mut dyn FnMut(PacketDesc) -> bool) {}
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+proptest! {
+    // Each case runs 2 full simulations; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On any connected single-link-failure degradation of a small uniform
+    /// HyperX, DimWAR and OmniWAR deliver 100% of an all-pairs-ish batch
+    /// and the network drains — the routing layer sees the dead port (the
+    /// degraded wiring never brings it up) and steers around it.
+    #[test]
+    fn adaptive_routing_delivers_on_degraded_hyperx(
+        dims in 2usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let hx = Arc::new(HyperX::uniform(dims, 3, 1));
+        let faults = FaultSet::random_links(&*hx, 1, seed);
+        prop_assume!(faults.num_links() == 1);
+        let deg = Arc::new(
+            DegradedTopology::new(hx.clone(), faults)
+                .expect("random_links preserves connectivity"),
+        );
+        let cfg = SimConfig {
+            buf_flits: 32,
+            crossbar_latency: 5,
+            router_chan_latency: 8,
+            term_chan_latency: 2,
+            ..SimConfig::default()
+        };
+        for name in ["DimWAR", "OmniWAR"] {
+            let algo: Arc<dyn RoutingAlgorithm> =
+                hyperx_algorithm(name, hx.clone(), cfg.num_vcs).unwrap().into();
+            let mut sim = Sim::new(deg.clone(), algo, cfg, seed);
+            let n = hx.num_terminals() as u32;
+            let total = 2 * n;
+            for i in 0..total {
+                let src = i % n;
+                // Offset in 1..n keeps dst != src.
+                let dst = (src + 1 + (i * 7) % (n - 1)) % n;
+                sim.inject(PacketDesc { src, dst, len: 4, tag: i as u64 });
+            }
+            let done = sim.run_to_completion(&mut Preloaded, 60_000);
+            prop_assert!(done.is_some(), "{} wedged on {}", name, deg.name());
+            prop_assert_eq!(
+                sim.stats.total_delivered_packets,
+                total as u64,
+                "{} lost packets on {}",
+                name,
+                deg.name()
+            );
+            prop_assert_eq!(sim.stats.dropped_packets, 0);
+            prop_assert_eq!(sim.pool.live(), 0);
+            prop_assert!(sim.net.is_drained(), "{} left flits behind", name);
+            prop_assert!(sim.watchdog_report().is_none());
+        }
+    }
+}

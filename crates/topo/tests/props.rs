@@ -5,10 +5,7 @@ use proptest::prelude::*;
 
 /// Arbitrary small HyperX shapes (1-4 dims, widths 2-6, 1-4 terminals).
 fn hyperx_strategy() -> impl Strategy<Value = HyperX> {
-    (
-        prop::collection::vec(2usize..=6, 1..=4),
-        1usize..=4,
-    )
+    (prop::collection::vec(2usize..=6, 1..=4), 1usize..=4)
         .prop_map(|(widths, t)| HyperX::new(&widths, t))
 }
 

@@ -125,7 +125,7 @@ impl Swap2 {
     pub fn new(hx: Arc<HyperX>) -> Self {
         assert!(hx.dims() >= 2, "Swap2 needs X and Y dimensions");
         assert!(
-            hx.terms_per_router() % 2 == 0,
+            hx.terms_per_router().is_multiple_of(2),
             "Swap2 needs an even terminal count per router"
         );
         Swap2 { hx }

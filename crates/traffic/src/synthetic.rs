@@ -94,7 +94,10 @@ mod tests {
         let mut flits = 0u64;
         let cycles = 4_000u64;
         for now in 0..cycles {
-            w.pre_cycle(now, &mut |d| { flits += d.len as u64; true });
+            w.pre_cycle(now, &mut |d| {
+                flits += d.len as u64;
+                true
+            });
         }
         let rate = flits as f64 / (cycles as f64 * 64.0);
         assert!(

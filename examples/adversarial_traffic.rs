@@ -16,8 +16,9 @@ use hyperx::traffic::{pattern_by_name, SyntheticWorkload};
 
 fn run(hx: &Arc<HyperX>, pattern: &str, algo_name: &str, load: f64) -> (f64, bool) {
     let cfg = SimConfig::default();
-    let algo: Arc<dyn RoutingAlgorithm> =
-        hyperx_algorithm(algo_name, hx.clone(), cfg.num_vcs).unwrap().into();
+    let algo: Arc<dyn RoutingAlgorithm> = hyperx_algorithm(algo_name, hx.clone(), cfg.num_vcs)
+        .unwrap()
+        .into();
     let mut sim = Sim::new(hx.clone(), algo, cfg, 7);
     let pat = pattern_by_name(pattern, hx.clone()).unwrap();
     let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, 7);

@@ -7,8 +7,8 @@
 //! ```
 
 use hyperx::cost::{
-    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes,
-    scalability_sweep, CableTech, PriceModel,
+    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes, scalability_sweep,
+    CableTech, PriceModel,
 };
 
 fn main() {
@@ -38,11 +38,23 @@ fn main() {
         df_bom.cable_count(),
         df_bom.total_length_m()
     );
-    println!("\n  {:<22} {:>10} {:>10} {:>7}", "technology", "$/node HX", "$/node DF", "DF/HX");
+    println!(
+        "\n  {:<22} {:>10} {:>10} {:>7}",
+        "technology", "$/node HX", "$/node DF", "DF/HX"
+    );
     for (name, tech) in [
-        ("DAC 8m + AOC (2.5GHz)", CableTech::ElectricalOptical { dac_reach_m: 8.0 }),
-        ("DAC 3m + AOC (25GHz)", CableTech::ElectricalOptical { dac_reach_m: 3.0 }),
-        ("DAC 1m + AOC (100GHz)", CableTech::ElectricalOptical { dac_reach_m: 1.0 }),
+        (
+            "DAC 8m + AOC (2.5GHz)",
+            CableTech::ElectricalOptical { dac_reach_m: 8.0 },
+        ),
+        (
+            "DAC 3m + AOC (25GHz)",
+            CableTech::ElectricalOptical { dac_reach_m: 3.0 },
+        ),
+        (
+            "DAC 1m + AOC (100GHz)",
+            CableTech::ElectricalOptical { dac_reach_m: 1.0 },
+        ),
         ("passive optical", CableTech::PassiveOptical),
     ] {
         let hx_cost = hx_bom.cost_per_node(tech, &prices);

@@ -30,10 +30,14 @@ fn main() {
 
     // Compare the paper's two contributions against the classic baselines.
     println!("\nuniform random traffic at 60% load:");
-    println!("{:>8}  {:>9}  {:>9}  {:>6}", "algo", "accepted", "latency", "hops");
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>6}",
+        "algo", "accepted", "latency", "hops"
+    );
     for name in ["DOR", "VAL", "UGAL", "DimWAR", "OmniWAR"] {
-        let algo: Arc<dyn RoutingAlgorithm> =
-            hyperx_algorithm(name, hx.clone(), cfg.num_vcs).unwrap().into();
+        let algo: Arc<dyn RoutingAlgorithm> = hyperx_algorithm(name, hx.clone(), cfg.num_vcs)
+            .unwrap()
+            .into();
         let mut sim = Sim::new(hx.clone(), algo, cfg, 1);
         let pattern = Arc::new(UniformRandom::new(hx.num_terminals()));
         let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), 0.6, 1);

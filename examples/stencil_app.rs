@@ -28,8 +28,9 @@ fn main() {
         "algo", "exec cycles", "messages", "packets"
     );
     for name in ["DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR"] {
-        let algo: Arc<dyn RoutingAlgorithm> =
-            hyperx_algorithm(name, hx.clone(), cfg.num_vcs).unwrap().into();
+        let algo: Arc<dyn RoutingAlgorithm> = hyperx_algorithm(name, hx.clone(), cfg.num_vcs)
+            .unwrap()
+            .into();
         let mut sim = Sim::new(hx.clone(), algo, cfg, 11);
         let app_cfg = StencilConfig {
             iterations: 2,

@@ -2,8 +2,8 @@
 //! shapes the paper's motivation section rests on.
 
 use hyperx::cost::{
-    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes,
-    scalability_sweep, CableTech, PriceModel,
+    dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes, scalability_sweep,
+    CableTech, PriceModel,
 };
 use hyperx::topo::{best_hyperx, Topology};
 

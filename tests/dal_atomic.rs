@@ -18,14 +18,8 @@ fn dal_ur(atomic: bool, min_len: u16, max_len: u16) -> (f64, f64) {
     let algo: Arc<dyn RoutingAlgorithm> = hyperx_algorithm("DAL", hx.clone(), 8).unwrap().into();
     let mut sim = Sim::new(hx.clone(), algo, cfg, 13);
     let pattern = Arc::new(UniformRandom::new(hx.num_terminals()));
-    let mut traffic = SyntheticWorkload::with_lengths(
-        pattern,
-        hx.num_terminals(),
-        0.9,
-        min_len,
-        max_len,
-        13,
-    );
+    let mut traffic =
+        SyntheticWorkload::with_lengths(pattern, hx.num_terminals(), 0.9, min_len, max_len, 13);
     let opts = SteadyOpts {
         warmup_window: 1_000,
         max_warmup_windows: 6,
@@ -53,7 +47,10 @@ fn atomic_single_flit_collapse() {
         acc < 2.5 * ceiling,
         "accepted {acc} far above ceiling {ceiling}"
     );
-    assert!(acc < 0.20, "single-flit atomic throughput should collapse: {acc}");
+    assert!(
+        acc < 0.20,
+        "single-flit atomic throughput should collapse: {acc}"
+    );
 }
 
 /// Random 1..=16-flit packets recover much of the loss (paper: ~68%) —

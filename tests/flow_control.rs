@@ -46,7 +46,10 @@ fn drain_restores_full_credits() {
     // Stop injecting; let everything drain.
     sim.run(&mut IdleWorkload, 30_000);
     assert!(sim.net.is_drained(), "network failed to drain");
-    assert!(sim.net.is_quiescent(), "credits still in flight after drain");
+    assert!(
+        sim.net.is_quiescent(),
+        "credits still in flight after drain"
+    );
     assert_eq!(sim.pool.live(), 0, "leaked packets");
     assert!(sim.net.audit_flow_control().is_empty());
     // Every router-to-router VC holds its full credit allotment again.

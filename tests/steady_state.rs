@@ -152,11 +152,28 @@ fn urbx_source_adaptive_is_fine() {
     );
 }
 
+/// An oversubscribed load point must be *flagged*, not silently reported:
+/// DOR cannot carry 90% bit complement (its per-dimension bisection caps
+/// out far lower), so warm-up latency never stabilizes and the protocol
+/// returns `saturated: true` with accepted throughput far below offered.
+#[test]
+fn oversubscribed_load_reports_saturated() {
+    let p = run_point("DOR", "BC", 0.90, 17);
+    assert!(p.saturated, "90% BC under DOR must be declared saturated");
+    assert!(
+        p.accepted < 0.5,
+        "accepted {} should collapse well below offered 0.90",
+        p.accepted
+    );
+}
+
 /// Deadlock freedom under deep saturation: every algorithm keeps making
 /// forward progress at 100% offered adversarial load.
 #[test]
 fn no_deadlock_at_full_adversarial_load() {
-    for algo in ["DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR", "MinAD"] {
+    for algo in [
+        "DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR", "MinAD",
+    ] {
         let hx = small_hx();
         let a: Arc<dyn RoutingAlgorithm> = hyperx_algorithm(algo, hx.clone(), 8).unwrap().into();
         let mut sim = Sim::new(hx.clone(), a, quick_cfg(), 23);

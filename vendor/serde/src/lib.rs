@@ -1,0 +1,201 @@
+//! Offline stand-in for `serde`, specialized to what this workspace needs:
+//! a `Serialize` trait that renders a value as JSON into a `String`, plus
+//! the `#[derive(Serialize)]` macro from the sibling `serde_derive` crate.
+//!
+//! The real serde models serialization through a generic `Serializer`;
+//! every consumer in this repo only ever serializes flat result rows to
+//! JSON (via `serde_json`), so the stand-in collapses the abstraction to
+//! direct JSON emission. Code written against `T: serde::Serialize` +
+//! `serde_json::to_writer/to_string` compiles unchanged.
+
+// Lets the derive macro's emitted `::serde::Serialize` paths resolve even
+// when expanded inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A value that can render itself as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn to_json(&self, out: &mut String);
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Formats an integer without allocating.
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+impl Serialize for u128 {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Debug prints the shortest round-trip decimal, which is
+                    // always a valid JSON number (e.g. "1.0", "2.5e-9").
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    // JSON has no NaN/Infinity; follow serde_json and emit null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_json(&self, out: &mut String) {
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self, out: &mut String) {
+        self.as_str().to_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.to_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.to_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn json<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut s = String::new();
+        v.to_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json(&42u64), "42");
+        assert_eq!(json(&-7i32), "-7");
+        assert_eq!(json(&0usize), "0");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f64::NAN), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(json("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&Some(5u8)), "5");
+        assert_eq!(json(&None::<u8>), "null");
+    }
+
+    #[test]
+    fn derive_emits_object() {
+        #[derive(crate::Serialize)]
+        struct Row {
+            algo: String,
+            offered: f64,
+            delivered: u64,
+            saturated: bool,
+        }
+        let r = Row {
+            algo: "DOR".into(),
+            offered: 0.25,
+            delivered: 100,
+            saturated: false,
+        };
+        assert_eq!(
+            json(&r),
+            "{\"algo\":\"DOR\",\"offered\":0.25,\"delivered\":100,\"saturated\":false}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! `#[derive(Serialize)]` for the local offline `serde` stand-in.
+//!
+//! Hand-rolled on top of `proc_macro` alone (no `syn`/`quote`, which are
+//! unavailable offline). Supports structs with named fields — the only
+//! shape the workspace derives — and emits an implementation of the
+//! stand-in's `serde::Serialize { fn to_json(&self, out: &mut String) }`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut name = None;
+    let mut fields_group = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let TokenTree::Ident(n) = &tokens[i + 1] else {
+                    panic!("derive(Serialize): expected struct name");
+                };
+                name = Some(n.to_string());
+                // Scan forward to the brace group holding the fields.
+                for t in &tokens[i + 2..] {
+                    match t {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => break,
+                        _ => {}
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("derive(Serialize): enums are not supported by the offline stand-in");
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let name = name.expect("derive(Serialize): no struct found");
+    let fields_group =
+        fields_group.expect("derive(Serialize): only structs with named fields are supported");
+    let fields = named_fields(fields_group);
+
+    let mut body = String::from("out.push('{');");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\
+             ::serde::Serialize::to_json(&self.{f}, out);"
+        ));
+    }
+    body.push_str("out.push('}');");
+
+    let imp = format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_json(&self, out: &mut ::std::string::String) {{ {body} }}\
+         }}"
+    );
+    imp.parse()
+        .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extracts field names from the token stream of a brace-delimited named
+/// field list, splitting on top-level commas (angle-bracket depth aware)
+/// and skipping attributes and visibility modifiers.
+fn named_fields(stream: proc_macro::TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut chunk: Vec<&TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if let Some(f) = field_name(&chunk) {
+                    fields.push(f);
+                }
+                chunk.clear();
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(t);
+    }
+    if let Some(f) = field_name(&chunk) {
+        fields.push(f);
+    }
+    fields
+}
+
+/// First identifier of a field chunk after stripping `#[...]` attributes
+/// and `pub` / `pub(...)` visibility.
+fn field_name(chunk: &[&TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute: '#' + [..]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => return None,
+        }
+    }
+    None
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_json`: `to_string` / `to_writer` over the
+//! local `serde::Serialize` trait (which renders JSON directly).
+
+use std::fmt;
+use std::io;
+
+/// Serialization error (only I/O can fail; encoding is infallible).
+#[derive(Debug)]
+pub struct Error(io::Error);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error(e)
+    }
+}
+
+/// Serializes `value` as a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into `writer`.
+pub fn to_writer<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    writer.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_and_writer_agree() {
+        let v = vec![1u32, 2, 3];
+        let s = super::to_string(&v).unwrap();
+        let mut buf = Vec::new();
+        super::to_writer(&mut buf, &v).unwrap();
+        assert_eq!(s.as_bytes(), &buf[..]);
+        assert_eq!(s, "[1,2,3]");
+    }
+}

@@ -16,7 +16,9 @@
 
 use std::sync::Arc;
 
-use hxbench::{parallel_map, render_table, write_jsonl, Args};
+use hxbench::{
+    parallel_map, render_metrics_table, render_table, write_jsonl, Args, MetricsArgs, MetricsRow,
+};
 use hxcore::hyperx_algorithm;
 use hxsim::{FaultSchedule, IdleWorkload, Sim, SimConfig};
 use hxtopo::{FaultSet, HyperX, Topology};
@@ -66,6 +68,8 @@ fn main() {
         watchdog_stall_cycles: 2_000,
         ..SimConfig::default()
     };
+    let metrics_args = MetricsArgs::parse(&args);
+    let metrics_cfg = metrics_args.config();
 
     let mut work = Vec::new();
     for a in &algos {
@@ -82,50 +86,63 @@ fn main() {
         hx.num_terminals()
     );
 
-    let rows: Vec<Row> = parallel_map(work, |(algo_name, n_fail, seed)| {
-        let algo: Arc<dyn hxcore::RoutingAlgorithm> =
-            hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
-                .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
-                .into();
-        let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
-        // The same seed picks the same dead cables for every algorithm, so
-        // the comparison is apples-to-apples per (n_fail, seed).
-        let faults = FaultSet::random_links(&*hx, n_fail, seed);
-        let mut schedule = FaultSchedule::new();
-        for (r, p) in faults.links() {
-            schedule = schedule.kill_link_at(0, r, p);
-        }
-        sim.set_fault_schedule(schedule);
+    let results: Vec<(Row, Option<MetricsRow>)> =
+        parallel_map(work, |(algo_name, n_fail, seed)| {
+            let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+                hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
+                    .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
+                    .into();
+            let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
+            if let Some(mc) = metrics_cfg {
+                sim.enable_metrics(mc);
+            }
+            // The same seed picks the same dead cables for every algorithm, so
+            // the comparison is apples-to-apples per (n_fail, seed).
+            let faults = FaultSet::random_links(&*hx, n_fail, seed);
+            let mut schedule = FaultSchedule::new();
+            for (r, p) in faults.links() {
+                schedule = schedule.kill_link_at(0, r, p);
+            }
+            sim.set_fault_schedule(schedule);
 
-        let pattern = pattern_by_name("UR", hx.clone()).expect("UR pattern");
-        let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), load, seed);
-        sim.run(&mut traffic, cycles);
-        // Stop injecting and let survivors drain (stops early if wedged).
-        sim.run(&mut IdleWorkload, 4 * cycles);
+            let pattern = pattern_by_name("UR", hx.clone()).expect("UR pattern");
+            let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), load, seed);
+            sim.run(&mut traffic, cycles);
+            // Stop injecting and let survivors drain (stops early if wedged).
+            sim.run(&mut IdleWorkload, 4 * cycles);
 
-        let delivered = sim.stats.total_delivered_packets;
-        let dropped = sim.stats.dropped_packets;
-        let stranded = sim.pool.live() as u64;
-        let attempted = delivered + dropped + stranded;
-        Row {
-            algo: algo_name,
-            failed_links: n_fail,
-            seed,
-            attempted_packets: attempted,
-            delivered_packets: delivered,
-            dropped_packets: dropped,
-            stranded_packets: stranded,
-            delivered_fraction: if attempted == 0 {
-                1.0
-            } else {
-                delivered as f64 / attempted as f64
-            },
-            mean_latency: sim.stats.mean_latency(),
-            p99_latency: sim.stats.hist.quantile(0.99),
-            mean_hops: sim.stats.mean_hops(),
-            wedged: sim.watchdog_report().is_some(),
-        }
-    });
+            let delivered = sim.stats.total_delivered_packets;
+            let dropped = sim.stats.dropped_packets;
+            let stranded = sim.pool.live() as u64;
+            let attempted = delivered + dropped + stranded;
+            let metrics = sim.metrics().map(|m| MetricsRow {
+                label: format!("{n_fail} failed links"),
+                algo: algo_name.clone(),
+                offered: load,
+                summary: m.summary(),
+            });
+            let row = Row {
+                algo: algo_name,
+                failed_links: n_fail,
+                seed,
+                attempted_packets: attempted,
+                delivered_packets: delivered,
+                dropped_packets: dropped,
+                stranded_packets: stranded,
+                delivered_fraction: if attempted == 0 {
+                    1.0
+                } else {
+                    delivered as f64 / attempted as f64
+                },
+                mean_latency: sim.stats.mean_latency(),
+                p99_latency: sim.stats.hist.quantile(0.99),
+                mean_hops: sim.stats.mean_hops(),
+                wedged: sim.watchdog_report().is_some(),
+            };
+            (row, metrics)
+        });
+    let (rows, metric_rows): (Vec<Row>, Vec<Option<MetricsRow>>) = results.into_iter().unzip();
+    let metric_rows: Vec<MetricsRow> = metric_rows.into_iter().flatten().collect();
 
     // Summary: delivered fraction (averaged over reps) per algo x fails.
     let mut header = vec!["failed links".to_string()];
@@ -152,6 +169,12 @@ fn main() {
         .collect();
     println!("\nFault resilience: delivered fraction vs failed links (UR load {load:.2})");
     println!("{}", render_table(&header, &table));
+
+    if metrics_args.enabled() {
+        println!("\nObservability summary (per algorithm, aggregated over all runs)");
+        println!("{}", render_metrics_table(&metric_rows));
+        write_jsonl(metrics_args.path.as_deref(), &metric_rows);
+    }
 
     write_jsonl(args.get("json"), &rows);
 }

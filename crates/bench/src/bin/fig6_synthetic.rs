@@ -12,11 +12,17 @@
 //! runs the paper's 4,096-node 8x8x8 (expect hours of CPU — use the
 //! parallel sweep's full-machine occupancy) and `--step 0.02` matches the
 //! paper's 2% granularity.
+//!
+//! `--metrics PATH` additionally collects the cycle-level observability
+//! layer on every run (sampled every `--metrics-interval` cycles, default
+//! 2000), writes one summary JSONL row per run to PATH, and renders a
+//! per-algorithm observability table. Collection never changes results.
 
 use std::sync::Arc;
 
 use hxbench::{
-    evaluation_config, evaluation_hyperx, parallel_map, render_table, write_jsonl, Args,
+    evaluation_config, evaluation_hyperx, parallel_map, render_metrics_table, render_table,
+    write_jsonl, Args, MetricsArgs, MetricsRow,
 };
 use hxcore::hyperx_algorithm;
 use hxsim::{run_steady_state, Sim, SteadyOpts};
@@ -56,6 +62,7 @@ fn main() {
     let hx = evaluation_hyperx(full);
     let cfg = evaluation_config();
     let opts = SteadyOpts::default();
+    let metrics_args = MetricsArgs::parse(&args);
 
     // Build the work list: every (pattern, algo, load).
     let mut work = Vec::new();
@@ -78,27 +85,41 @@ fn main() {
             .unwrap_or(1)
     );
 
-    let rows: Vec<Row> = parallel_map(work, |(pattern, algo_name, load)| {
-        let algo: Arc<dyn hxcore::RoutingAlgorithm> =
-            hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
-                .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
-                .into();
-        let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
-        let pat = pattern_by_name(&pattern, hx.clone())
-            .unwrap_or_else(|| panic!("unknown pattern {pattern}"));
-        let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, seed);
-        let point = run_steady_state(&mut sim, &mut traffic, load, opts);
-        Row {
-            pattern,
-            algo: algo_name,
-            offered: point.offered,
-            accepted: point.accepted,
-            mean_latency: point.mean_latency,
-            p99_latency: point.p99_latency,
-            mean_hops: point.mean_hops,
-            saturated: point.saturated,
-        }
-    });
+    let metrics_cfg = metrics_args.config();
+    let results: Vec<(Row, Option<MetricsRow>)> =
+        parallel_map(work, |(pattern, algo_name, load)| {
+            let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+                hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
+                    .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
+                    .into();
+            let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
+            if let Some(mc) = metrics_cfg {
+                sim.enable_metrics(mc);
+            }
+            let pat = pattern_by_name(&pattern, hx.clone())
+                .unwrap_or_else(|| panic!("unknown pattern {pattern}"));
+            let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, seed);
+            let point = run_steady_state(&mut sim, &mut traffic, load, opts);
+            let metrics = sim.metrics().map(|m| MetricsRow {
+                label: pattern.clone(),
+                algo: algo_name.clone(),
+                offered: point.offered,
+                summary: m.summary(),
+            });
+            let row = Row {
+                pattern,
+                algo: algo_name,
+                offered: point.offered,
+                accepted: point.accepted,
+                mean_latency: point.mean_latency,
+                p99_latency: point.p99_latency,
+                mean_hops: point.mean_hops,
+                saturated: point.saturated,
+            };
+            (row, metrics)
+        });
+    let (rows, metric_rows): (Vec<Row>, Vec<Option<MetricsRow>>) = results.into_iter().unzip();
+    let metric_rows: Vec<MetricsRow> = metric_rows.into_iter().flatten().collect();
 
     // 6a-6f: one latency-vs-load table per pattern (saturated points marked).
     for pattern in &patterns {
@@ -153,6 +174,12 @@ fn main() {
         .collect();
     println!("\nFigure 6g: achieved throughput (flits/terminal/cycle at max offered load)");
     println!("{}", render_table(&header, &table));
+
+    if metrics_args.enabled() {
+        println!("\nObservability summary (per algorithm, aggregated over all runs)");
+        println!("{}", render_metrics_table(&metric_rows));
+        write_jsonl(metrics_args.path.as_deref(), &metric_rows);
+    }
 
     write_jsonl(args.get("json"), &rows);
 }

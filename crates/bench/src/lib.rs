@@ -67,11 +67,34 @@ impl Args {
         self.flags.iter().any(|f| f == key)
     }
 
-    /// Parsed value of `--key`, or `default`.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// Parsed value of `--key`, or `default` when the key is absent.
+    /// Returns an error when the key is present but its value does not
+    /// parse — silently falling back to the default would make a typo like
+    /// `--seed abc` run a different experiment than requested.
+    pub fn try_get_or<T>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid value {v:?} for --{key}: {e}")),
+        }
+    }
+
+    /// Parsed value of `--key`, or `default` when absent. Aborts the
+    /// process with a message on a malformed value.
+    pub fn get_or<T>(&self, key: &str, default: T) -> T
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        self.try_get_or(key, default).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Whether the paper-scale configuration was requested (`--full` or
@@ -105,11 +128,24 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+        .unwrap_or(4);
+    parallel_map_threads(items, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count. Results are
+/// slotted by item index, so the output — and any per-item seeded
+/// simulation inside `f` — is identical for every thread count; the
+/// determinism suite in `crates/bench/tests/determinism.rs` pins this.
+pub fn parallel_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -131,6 +167,108 @@ where
         .into_iter()
         .map(|m| m.into_inner().expect("missing result"))
         .collect()
+}
+
+/// Observability options shared by the experiment binaries: `--metrics
+/// PATH` writes one JSONL summary row per run, `--metrics-interval N`
+/// sets the time-series sampling period (cycles).
+pub struct MetricsArgs {
+    /// Output path for the per-run metrics JSONL, if requested.
+    pub path: Option<String>,
+    /// Sampling interval in cycles.
+    pub interval: u64,
+}
+
+impl MetricsArgs {
+    /// Parses `--metrics` / `--metrics-interval` from `args`.
+    pub fn parse(args: &Args) -> Self {
+        MetricsArgs {
+            path: args.get("metrics").map(str::to_string),
+            interval: args.get_or("metrics-interval", 2_000),
+        }
+    }
+
+    /// Whether metric collection was requested.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The `MetricsConfig` to enable on each run's `Sim`, if requested.
+    pub fn config(&self) -> Option<hxsim::MetricsConfig> {
+        self.enabled().then(|| hxsim::MetricsConfig {
+            sample_interval: self.interval,
+            ..hxsim::MetricsConfig::default()
+        })
+    }
+}
+
+/// One per-run observability record, written as a JSONL row by the
+/// experiment binaries under `--metrics PATH`.
+#[derive(serde::Serialize, Clone)]
+pub struct MetricsRow {
+    /// Run label (traffic pattern, fault count, ...).
+    pub label: String,
+    /// Routing algorithm.
+    pub algo: String,
+    /// Offered load of the run.
+    pub offered: f64,
+    /// End-of-run metric aggregates.
+    pub summary: hxsim::MetricsSummary,
+}
+
+/// Renders the per-algorithm observability summary table aggregated over
+/// `rows` (sums counters, maxes utilizations/occupancy quantiles).
+pub fn render_metrics_table(rows: &[MetricsRow]) -> String {
+    let mut algos: Vec<&str> = rows.iter().map(|r| r.algo.as_str()).collect();
+    algos.dedup();
+    algos.sort_unstable();
+    algos.dedup();
+    let header: Vec<String> = [
+        "algo",
+        "grants",
+        "deroute%",
+        "age-win%",
+        "credit stalls",
+        "claim stalls",
+        "max util",
+        "occ p99",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let table: Vec<Vec<String>> = algos
+        .iter()
+        .map(|a| {
+            let sel: Vec<&MetricsRow> = rows.iter().filter(|r| r.algo == *a).collect();
+            let sum = |f: &dyn Fn(&hxsim::MetricsSummary) -> u64| -> u64 {
+                sel.iter().map(|r| f(&r.summary)).sum()
+            };
+            let fmax = |f: &dyn Fn(&hxsim::MetricsSummary) -> f64| -> f64 {
+                sel.iter().map(|r| f(&r.summary)).fold(0.0, f64::max)
+            };
+            let grants = sum(&|s| s.grants);
+            let net_grants = grants - sum(&|s| s.ejection_grants);
+            let deroutes = sum(&|s| s.deroutes_total);
+            let pct = |num: u64, den: u64| {
+                if den == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}", 100.0 * num as f64 / den as f64)
+                }
+            };
+            vec![
+                a.to_string(),
+                grants.to_string(),
+                pct(deroutes, net_grants),
+                pct(sum(&|s| s.age_wins), grants),
+                sum(&|s| s.credit_stalls).to_string(),
+                sum(&|s| s.claim_stalls).to_string(),
+                format!("{:.3}", fmax(&|s| s.max_util)),
+                format!("{:.1}", fmax(&|s| s.occ_p99)),
+            ]
+        })
+        .collect();
+    render_table(&header, &table)
 }
 
 /// Writes serializable rows as JSON lines to `path` (if given).
@@ -195,6 +333,28 @@ mod tests {
     fn trailing_flag_parses() {
         let a = args("--verbose");
         assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn malformed_value_is_an_error_not_the_default() {
+        let a = args("--seed abc --load 0.x5");
+        let seed: Result<u64, _> = a.try_get_or("seed", 0);
+        let err = seed.unwrap_err();
+        assert!(err.contains("--seed") && err.contains("abc"), "err={err}");
+        let load: Result<f64, _> = a.try_get_or("load", 0.5);
+        assert!(load.is_err());
+        // Absent keys still yield the default; valid values still parse.
+        assert_eq!(a.try_get_or("missing", 42u64), Ok(42));
+        let a2 = args("--seed 7");
+        assert_eq!(a2.try_get_or("seed", 0u64), Ok(7));
+    }
+
+    #[test]
+    fn parallel_map_thread_count_does_not_change_results() {
+        let items: Vec<u64> = (0..64).collect();
+        let one = parallel_map_threads(items.clone(), 1, |x| x * x + 1);
+        let many = parallel_map_threads(items, 5, |x| x * x + 1);
+        assert_eq!(one, many);
     }
 
     #[test]

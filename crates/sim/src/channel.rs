@@ -25,6 +25,9 @@ pub struct Channel {
     credits: VecDeque<(u64, u8)>,
     /// Flits sent while the channel was dead, awaiting fault fallout.
     dead_drops: Vec<(Flit, u8)>,
+    /// Lifetime flits accepted onto the wire (dead-drops excluded). The
+    /// metrics layer diffs this per sample window for link utilization.
+    flits_sent: u64,
 }
 
 impl Channel {
@@ -37,6 +40,7 @@ impl Channel {
             flits: VecDeque::new(),
             credits: VecDeque::new(),
             dead_drops: Vec::new(),
+            flits_sent: 0,
         }
     }
 
@@ -91,6 +95,14 @@ impl Channel {
             "channel bandwidth exceeded (two flits in one cycle)"
         );
         self.flits.push_back((now + self.latency, flit, vc));
+        self.flits_sent += 1;
+    }
+
+    /// Lifetime flits accepted onto the wire (monotonic; excludes flits
+    /// dead-dropped while the channel was down).
+    #[inline]
+    pub fn flits_sent(&self) -> u64 {
+        self.flits_sent
     }
 
     /// Receiver side: drains every flit that has arrived by `now`.

@@ -24,6 +24,7 @@
 mod channel;
 mod config;
 mod fault;
+pub mod metrics;
 mod network;
 mod packet;
 mod router;
@@ -38,6 +39,9 @@ mod workload;
 pub use channel::Channel;
 pub use config::SimConfig;
 pub use fault::{FaultAction, FaultEvent, FaultSchedule, RouterDiag, WatchdogReport};
+pub use metrics::{
+    LogHist, Metrics, MetricsConfig, MetricsSummary, NetSample, PhaseTimers, PortSample,
+};
 pub use network::Network;
 pub use packet::{Flit, Packet, PacketId, PacketPool};
 pub use router::Router;

@@ -10,6 +10,7 @@ use hxtopo::{ChannelKind, PortTarget, Topology};
 use crate::channel::Channel;
 use crate::config::SimConfig;
 use crate::fault::FaultAction;
+use crate::metrics::Metrics;
 use crate::packet::PacketPool;
 use crate::router::{poison_packet, Router};
 use crate::stats::Stats;
@@ -106,7 +107,8 @@ impl Network {
         }
     }
 
-    /// Advances every router and terminal by one cycle.
+    /// Advances every router and terminal by one cycle. `metrics`, like
+    /// `trace`, is pure observation and never perturbs simulation state.
     pub fn tick(
         &mut self,
         now: u64,
@@ -114,6 +116,7 @@ impl Network {
         stats: &mut Stats,
         delivered: &mut Vec<Delivered>,
         mut trace: Option<&mut Trace>,
+        mut metrics: Option<&mut Metrics>,
     ) {
         let topo = &*self.topo;
         let algo = &*self.algo;
@@ -126,10 +129,16 @@ impl Network {
                 stats,
                 &mut self.channels,
                 trace.as_deref_mut(),
+                metrics.as_deref_mut(),
             );
         }
+        let timed = metrics.as_ref().is_some_and(|m| m.timers_enabled());
+        let mut stamp = timed.then(std::time::Instant::now);
         for t in &mut self.terminals {
             t.tick(now, pool, &mut self.channels, stats, delivered);
+        }
+        if let Some(m) = metrics {
+            crate::metrics::lap(&mut stamp, &mut m.timers.channel_ns);
         }
     }
 
@@ -258,6 +267,11 @@ impl Network {
     /// Read access to a router (tests/invariants).
     pub fn router(&self, r: usize) -> &Router {
         &self.routers[r]
+    }
+
+    /// Read access to a channel by id (metrics/invariants).
+    pub fn channel(&self, ch: usize) -> &Channel {
+        &self.channels[ch]
     }
 
     /// Number of terminals.

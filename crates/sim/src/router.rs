@@ -33,6 +33,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::channel::Channel;
 use crate::config::SimConfig;
+use crate::metrics::{lap, Metrics};
 use crate::packet::{Flit, PacketId, PacketPool};
 use crate::stats::Stats;
 use crate::trace::{DropReason, DropRecord, HopRecord, Trace};
@@ -263,6 +264,9 @@ impl Router {
     }
 
     /// One simulation cycle. `channels` is the global channel table.
+    /// `metrics`, like `trace`, is optional instrumentation: it observes
+    /// grants/stalls (and, when timers are on, phase wall time) without
+    /// touching simulation state.
     #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
@@ -273,12 +277,32 @@ impl Router {
         stats: &mut Stats,
         channels: &mut [Channel],
         trace: Option<&mut Trace>,
+        mut metrics: Option<&mut Metrics>,
     ) {
+        let timed = metrics.as_ref().is_some_and(|m| m.timers_enabled());
+        let mut stamp = timed.then(std::time::Instant::now);
         self.ingress(now, pool, stats, channels);
-        self.allocate(now, topo, algo, pool, stats, trace);
+        if let Some(m) = metrics.as_deref_mut() {
+            lap(&mut stamp, &mut m.timers.ingress_ns);
+        }
+        let route_before = metrics.as_deref().map(|m| m.timers.route_ns);
+        self.allocate(now, topo, algo, pool, stats, trace, metrics.as_deref_mut());
+        if let Some(m) = metrics.as_deref_mut() {
+            lap(&mut stamp, &mut m.timers.vc_alloc_ns);
+            // `lap` measured the whole allocate phase; carve the inner
+            // route-computation time back out so the two don't double count.
+            let route_delta = m.timers.route_ns - route_before.unwrap_or(0);
+            m.timers.vc_alloc_ns = m.timers.vc_alloc_ns.saturating_sub(route_delta);
+        }
         self.switch_traverse(now, pool, stats, channels);
         self.xbar_drain(now);
+        if let Some(m) = metrics.as_deref_mut() {
+            lap(&mut stamp, &mut m.timers.crossbar_ns);
+        }
         self.link_egress(now, channels);
+        if let Some(m) = metrics {
+            lap(&mut stamp, &mut m.timers.channel_ns);
+        }
     }
 
     /// Phase 1: accept arriving flits and returning credits. Flits of
@@ -340,6 +364,7 @@ impl Router {
 
     /// Phase 2: route computation + virtual cut-through VC allocation,
     /// oldest packet first.
+    #[allow(clippy::too_many_arguments)]
     fn allocate(
         &mut self,
         now: u64,
@@ -348,6 +373,7 @@ impl Router {
         pool: &mut PacketPool,
         stats: &mut Stats,
         mut trace: Option<&mut Trace>,
+        mut metrics: Option<&mut Metrics>,
     ) {
         if self.flits_buffered == 0 {
             return;
@@ -375,8 +401,12 @@ impl Router {
         heads.sort_unstable();
 
         let mut cands = std::mem::take(&mut self.cands);
-        for &(_, pkt_id, port16, vc8) in &heads {
+        let timed = metrics.as_ref().is_some_and(|m| m.timers_enabled());
+        for (head_idx, &(_, pkt_id, port16, vc8)) in heads.iter().enumerate() {
             let (port, vc) = (port16 as usize, vc8 as usize);
+            // For age-arbitration accounting: the first sorted head is this
+            // router's oldest waiting packet this cycle.
+            let oldest = head_idx == 0;
             if pool.is_poisoned(pkt_id) {
                 // Fault fallout will reap this buffer; don't route it.
                 continue;
@@ -403,6 +433,9 @@ impl Router {
                         Commit::None,
                         false,
                     );
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.on_grant(self.id, eject_port, oldest, true, false, None);
+                    }
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(HopRecord {
                             pkt: pkt_id,
@@ -414,6 +447,9 @@ impl Router {
                             cycle: now,
                         });
                     }
+                } else if let Some(m) = metrics.as_deref_mut() {
+                    let starved = self.has_unclaimed_vc(eject_port, 0..self.num_vcs);
+                    m.on_alloc_stall(self.id, eject_port, starved);
                 }
                 continue;
             }
@@ -451,7 +487,13 @@ impl Router {
                 state,
                 view: &view,
             };
+            let route_t0 = timed.then(std::time::Instant::now);
             algo.route(&ctx, &mut self.rng, &mut cands);
+            if let Some(t0) = route_t0 {
+                if let Some(m) = metrics.as_deref_mut() {
+                    m.timers.route_ns += t0.elapsed().as_nanos() as u64;
+                }
+            }
             // With every port up an empty candidate set is a routing bug;
             // under faults it just means "wait for a revival or a reroute".
             debug_assert!(
@@ -468,17 +510,31 @@ impl Router {
             // destabilizes the network near saturation.) Ties prefer fewer
             // hops, then a random draw to avoid systematic port bias.
             let mut best: Option<(CandKey, usize, u8, Commit)> = None;
+            let mut min_hops = u8::MAX;
             for c in &cands {
                 let salt = self.rng.random::<u32>();
                 let key = (c.weight, c.hops, salt);
+                min_hops = min_hops.min(c.hops);
                 if best.as_ref().is_none_or(|(k, ..)| *k > key) {
                     best = Some((key, c.port as usize, c.class, c.commit));
                 }
             }
-            if let Some((_, out_port, class, commit)) = best {
+            if let Some((key, out_port, class, commit)) = best {
                 let range = self.class_map.vcs_of(class as usize);
-                if let Some(out_vc) = self.pick_vc(out_port, range, len) {
+                if let Some(out_vc) = self.pick_vc(out_port, range.clone(), len) {
                     self.grant(pool, pkt_id, port, vc, out_port, out_vc, len, commit, true);
+                    if let Some(m) = metrics.as_deref_mut() {
+                        // A grant whose hop count exceeds the cheapest
+                        // offered path is a deroute; DAL names its dimension
+                        // in the commit, otherwise the port's topology
+                        // dimension attributes it.
+                        let nonminimal = key.1 > min_hops;
+                        let dim = match commit {
+                            Commit::Deroute { dim } => Some(dim as usize),
+                            _ => None,
+                        };
+                        m.on_grant(self.id, out_port, oldest, false, nonminimal, dim);
+                    }
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(HopRecord {
                             pkt: pkt_id,
@@ -490,6 +546,9 @@ impl Router {
                             cycle: now,
                         });
                     }
+                } else if let Some(m) = metrics.as_deref_mut() {
+                    let starved = self.has_unclaimed_vc(out_port, range);
+                    m.on_alloc_stall(self.id, out_port, starved);
                 }
             }
         }
@@ -521,6 +580,19 @@ impl Router {
             }
         }
         best.map(|(_, vc)| vc)
+    }
+
+    /// Whether `port` is live and some VC in `range` is unclaimed. After a
+    /// failed [`Self::pick_vc`] this classifies the stall: an unclaimed VC
+    /// means the packet is credit-starved, otherwise every candidate VC is
+    /// claimed by another packet.
+    fn has_unclaimed_vc(&self, port: usize, range: std::ops::Range<usize>) -> bool {
+        self.out_chan[port].is_some()
+            && self.live_ports[port]
+            && range.into_iter().any(|vc| {
+                let i = self.pv(port, vc);
+                self.out_owner[i].is_none()
+            })
     }
 
     /// Commits a VC allocation: claims the downstream VC, reserves credits

@@ -68,6 +68,7 @@ pub fn run_steady_state(
 ) -> LoadPoint {
     // Warm-up: windows until mean latency stabilizes and the generated
     // backlog stops growing faster than the network drains it.
+    sim.mark_metrics_event("warmup_start");
     let mut prev_latency = f64::NAN;
     let mut prev_backlog = 0u64;
     let mut stable = false;
@@ -90,8 +91,10 @@ pub fn run_steady_state(
     }
 
     // Measurement window.
+    sim.mark_metrics_event("measure_start");
     sim.stats.reset_window(sim.now);
     sim.run(workload, opts.measure_cycles);
+    sim.mark_metrics_event("measure_end");
     let terminals = sim.net.num_terminals();
     LoadPoint {
         offered,

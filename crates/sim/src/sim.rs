@@ -8,6 +8,7 @@ use hxtopo::Topology;
 
 use crate::config::SimConfig;
 use crate::fault::{FaultSchedule, RouterDiag, WatchdogReport};
+use crate::metrics::{Metrics, MetricsConfig};
 use crate::network::Network;
 use crate::packet::{Packet, PacketPool};
 use crate::stats::Stats;
@@ -29,6 +30,9 @@ pub struct Sim {
     pub refused_packets: u64,
     /// Hop-level trace, populated when enabled via [`Sim::enable_tracing`].
     pub trace: Option<Trace>,
+    /// Metrics collector, populated via [`Sim::enable_metrics`]. Boxed: the
+    /// disabled (default) case costs one null check per cycle.
+    metrics: Option<Box<Metrics>>,
     delivered_buf: Vec<Delivered>,
     /// Pending fault injections, if any.
     fault_schedule: Option<FaultSchedule>,
@@ -58,6 +62,7 @@ impl Sim {
             now: 0,
             refused_packets: 0,
             trace: None,
+            metrics: None,
             delivered_buf: Vec::new(),
             fault_schedule: None,
             fault_mode: false,
@@ -85,6 +90,36 @@ impl Sim {
     pub fn enable_tracing(&mut self) {
         if self.trace.is_none() {
             self.trace = Some(Trace::new());
+        }
+    }
+
+    /// Turns on the metrics subsystem (see [`crate::metrics`]). Collection
+    /// is pure observation: enabling it changes no simulation result.
+    pub fn enable_metrics(&mut self, cfg: MetricsConfig) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::new(Metrics::new(
+                cfg,
+                &*self.net.topo,
+                self.net.cfg.num_vcs,
+            )));
+        }
+    }
+
+    /// The metrics collector, if enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Detaches and returns the metrics collector.
+    pub fn take_metrics(&mut self) -> Option<Box<Metrics>> {
+        self.metrics.take()
+    }
+
+    /// Records a labeled event (e.g. a measurement-window boundary) into
+    /// the metric stream, if metrics are enabled.
+    pub fn mark_metrics_event(&mut self, label: &str) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.mark_event(self.now, label);
         }
     }
 
@@ -153,11 +188,18 @@ impl Sim {
             &mut self.stats,
             &mut delivered,
             self.trace.as_mut(),
+            self.metrics.as_deref_mut(),
         );
         for d in &delivered {
             workload.on_delivered(d, self.now);
         }
         self.delivered_buf = delivered;
+
+        if let Some(m) = self.metrics.as_deref_mut() {
+            if m.sample_due(self.now) {
+                m.sample(self.now, &self.net);
+            }
+        }
 
         if self.fault_mode {
             self.net.collect_fault_fallout(

@@ -1,66 +1,11 @@
 //! Simulation statistics: windowed counters and a log-bucketed latency
 //! histogram for percentile estimates.
 
-/// Log2-bucketed latency histogram (bucket `i` holds latencies in
-/// `[2^i, 2^(i+1))`, bucket 0 holds 0 and 1).
-#[derive(Clone, Debug)]
-pub struct LatencyHist {
-    buckets: [u64; 40],
-    count: u64,
-}
-
-impl Default for LatencyHist {
-    fn default() -> Self {
-        LatencyHist {
-            buckets: [0; 40],
-            count: 0,
-        }
-    }
-}
-
-impl LatencyHist {
-    /// Records one latency sample.
-    #[inline]
-    pub fn record(&mut self, latency: u64) {
-        let b = (64 - latency.max(1).leading_zeros() as usize - 1).min(39);
-        self.buckets[b] += 1;
-        self.count += 1;
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Approximate quantile (`q` in `[0, 1]`), linearly interpolated within
-    /// the winning bucket. Returns 0 with no samples.
-    pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            if seen + n >= target {
-                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
-                let hi = (1u64 << (i + 1)) as f64;
-                let frac = (target - seen) as f64 / n as f64;
-                return lo + frac * (hi - lo);
-            }
-            seen += n;
-        }
-        unreachable!("quantile target exceeds sample count");
-    }
-
-    /// Clears all samples.
-    pub fn reset(&mut self) {
-        self.buckets = [0; 40];
-        self.count = 0;
-    }
-}
+/// Log2-bucketed latency histogram. An alias of the general-purpose
+/// [`LogHist`](crate::metrics::LogHist) (same buckets, same quantile
+/// interpolation); kept under this name for the latency-centric call
+/// sites.
+pub type LatencyHist = crate::metrics::LogHist;
 
 /// Windowed simulation counters. `reset_window` starts a fresh measurement
 /// window; lifetime totals keep accumulating.

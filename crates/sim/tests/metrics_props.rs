@@ -1,0 +1,118 @@
+//! Property tests for the metrics log-bucketed histogram (`LogHist`):
+//! quantile estimates land in the same bucket as the exact sorted-vector
+//! quantile, merging is associative and equals the histogram of the
+//! concatenated samples, and empty histograms behave.
+
+use hxsim::LogHist;
+use proptest::prelude::*;
+
+/// Exact quantile at `LogHist`'s rank convention: the `ceil(q*n).max(1)`-th
+/// smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[target - 1]
+}
+
+fn hist_of(samples: &[u64]) -> LogHist {
+    let mut h = LogHist::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interpolated quantile always falls inside the bucket holding
+    /// the exact quantile of the same rank — "within one bucket" of the
+    /// true value, the histogram's advertised accuracy.
+    #[test]
+    fn quantile_within_exact_quantile_bucket(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        let (lo, hi) = LogHist::bucket_bounds(LogHist::bucket_of(exact));
+        prop_assert!(
+            est >= lo && est <= hi,
+            "estimate {} outside bucket [{}, {}] of exact {}",
+            est, lo, hi, exact
+        );
+    }
+
+    /// Merging two histograms gives exactly the histogram of the
+    /// concatenated sample sets.
+    #[test]
+    fn merge_equals_concatenation(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut ha = hist_of(&a);
+        let hb = hist_of(&b);
+        ha.merge(&hb);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ha, hist_of(&all));
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..60),
+        b in prop::collection::vec(any::<u64>(), 0..60),
+        c in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Empty histograms: zero count, zero quantiles at every q, and
+    /// merging one in is the identity.
+    #[test]
+    fn empty_histogram_edge_cases(
+        samples in prop::collection::vec(any::<u64>(), 0..50),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let empty = LogHist::default();
+        prop_assert!(empty.is_empty());
+        prop_assert_eq!(empty.count(), 0);
+        prop_assert_eq!(empty.quantile(q), 0.0);
+        let h = hist_of(&samples);
+        let mut merged = h.clone();
+        merged.merge(&empty);
+        prop_assert_eq!(&merged, &h);
+        let mut other_way = LogHist::default();
+        other_way.merge(&h);
+        prop_assert_eq!(&other_way, &h);
+    }
+
+    /// Quantiles are monotone in q and bounded by the recorded extremes'
+    /// bucket edges.
+    #[test]
+    fn quantiles_monotone(
+        samples in prop::collection::vec(0u64..100_000, 1..100),
+        q1_permille in 0u64..=1000,
+        q2_permille in 0u64..=1000,
+    ) {
+        let h = hist_of(&samples);
+        let q1 = q1_permille as f64 / 1000.0;
+        let q2 = q2_permille as f64 / 1000.0;
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo_q) <= h.quantile(hi_q));
+    }
+}

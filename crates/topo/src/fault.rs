@@ -406,6 +406,12 @@ impl Topology for DegradedTopology {
             self.failed_router.iter().filter(|&&f| f).count()
         )
     }
+
+    fn port_dim(&self, r: usize, p: usize) -> Option<usize> {
+        // Dead ports keep their dimension label: observability wants to
+        // attribute traffic shifts to the dimension that lost capacity.
+        self.base.port_dim(r, p)
+    }
 }
 
 #[cfg(test)]

@@ -256,6 +256,10 @@ impl Topology for HyperX {
         let dims: Vec<String> = self.widths.iter().map(|s| s.to_string()).collect();
         format!("HyperX({},t={})", dims.join("x"), self.terms_per_router)
     }
+
+    fn port_dim(&self, r: usize, p: usize) -> Option<usize> {
+        self.port_dim_target(r, p).map(|(d, _)| d)
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,15 @@ pub trait Topology: Send + Sync {
     fn router_of_terminal(&self, t: usize) -> usize {
         self.terminal_attach(t).0
     }
+
+    /// Topological dimension traversed by network port `p` of router `r`,
+    /// for topologies with a dimensional structure (HyperX). Observability
+    /// uses this to attribute deroutes and link utilization per dimension.
+    /// Returns `None` for terminal/unused ports and for topologies without
+    /// a meaningful dimension decomposition (the default).
+    fn port_dim(&self, _r: usize, _p: usize) -> Option<usize> {
+        None
+    }
 }
 
 /// Checks wiring consistency of a topology; used by the per-topology tests.

@@ -11,8 +11,14 @@
 //! ```text
 //! cargo run --release -p hxbench --bin fault_resilience -- \
 //!     [--algos DOR,DimWAR,OmniWAR] [--fails 0,1,2,4,8] [--reps 3] \
-//!     [--load 0.2] [--cycles 10000] [--seed 1] [--json out.jsonl]
+//!     [--load 0.2] [--cycles 10000] [--seed 1] [--json out.jsonl] \
+//!     [--threads N]
 //! ```
+//!
+//! `--threads N` shards every simulation's per-cycle compute across N
+//! worker threads (bit-identical results for any N; also settable via
+//! `HX_TICK_THREADS`). Fault application itself stays serial at cycle
+//! boundaries, so fault schedules are thread-count-invariant too.
 
 use std::sync::Arc;
 
@@ -63,11 +69,12 @@ fn main() {
         .unwrap_or_else(|| vec![0, 1, 2, 4, 8]);
 
     let hx = Arc::new(HyperX::uniform(3, 3, 2));
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         // Wedged flows must fail fast so the sweep terminates.
         watchdog_stall_cycles: 2_000,
         ..SimConfig::default()
     };
+    cfg.tick_threads = args.get_or("threads", cfg.tick_threads);
     let metrics_args = MetricsArgs::parse(&args);
     let metrics_cfg = metrics_args.config();
 

@@ -5,8 +5,16 @@
 //! ```text
 //! cargo run --release -p hxbench --bin fig6_synthetic -- \
 //!     [--pattern UR|BC|URBx|URBy|S2|DCR|all] [--algos DOR,VAL,...] \
-//!     [--step 0.1] [--max-load 1.0] [--full] [--seed 1] [--json out.jsonl]
+//!     [--step 0.1] [--max-load 1.0] [--full] [--seed 1] [--json out.jsonl] \
+//!     [--threads N]
 //! ```
+//!
+//! `--threads N` shards every simulation's per-cycle compute across N
+//! worker threads (deterministic: results are bit-identical for any N;
+//! also settable via `HX_TICK_THREADS`). It composes with the sweep-level
+//! parallelism, so prefer it when the run list is short (e.g. a single
+//! `--full` load point) rather than on wide sweeps that already occupy
+//! every core.
 //!
 //! Default is the reduced 256-node network with a 10% load grid; `--full`
 //! runs the paper's 4,096-node 8x8x8 (expect hours of CPU — use the
@@ -60,7 +68,8 @@ fn main() {
         .unwrap_or_else(|| DEFAULT_ALGOS.iter().map(|s| s.to_string()).collect());
 
     let hx = evaluation_hyperx(full);
-    let cfg = evaluation_config();
+    let mut cfg = evaluation_config();
+    cfg.tick_threads = args.get_or("threads", cfg.tick_threads);
     let opts = SteadyOpts::default();
     let metrics_args = MetricsArgs::parse(&args);
 

@@ -1,0 +1,160 @@
+//! Wall-clock speedup of the deterministic parallel tick (`BENCH_parallel_tick.json`).
+//!
+//! Runs the *same* seeded simulation — default 4x4x4 HyperX, OmniWAR,
+//! uniform random traffic near saturation — once per thread count, timing
+//! each run and asserting that every run's end-of-run statistics are
+//! bit-identical (the parallel tick's core guarantee). Runs execute one at
+//! a time, so each timing owns the whole machine.
+//!
+//! ```text
+//! cargo run --release -p hxbench --bin parallel_tick -- \
+//!     [--threads-list 1,2,4] [--load 0.7] [--warmup 2000] [--cycles 6000] \
+//!     [--algo OmniWAR] [--seed 1] [--full] [--json BENCH_parallel_tick.json]
+//! ```
+//!
+//! The JSON records per-thread-count wall seconds and speedup vs serial,
+//! plus `host_cpus`: speedup is only meaningful when the host has at least
+//! as many cores as the largest thread count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hxbench::{evaluation_config, evaluation_hyperx, Args};
+use hxcore::hyperx_algorithm;
+use hxsim::Sim;
+use hxtopo::Topology;
+use hxtraffic::{pattern_by_name, SyntheticWorkload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ThreadResult {
+    threads: usize,
+    seconds: f64,
+    cycles_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    topology: String,
+    algo: String,
+    load: f64,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    seed: u64,
+    host_cpus: usize,
+    digests_identical: bool,
+    results: Vec<ThreadResult>,
+}
+
+/// End-of-run fingerprint: the integer `Stats` totals. Any divergence
+/// between thread counts is a determinism bug, not a measurement artifact.
+fn fingerprint(sim: &Sim) -> Vec<u64> {
+    let s = &sim.stats;
+    vec![
+        s.total_generated_flits,
+        s.total_delivered_flits,
+        s.total_delivered_packets,
+        s.latency_sum,
+        s.net_latency_sum,
+        s.latency_max,
+        s.hops_sum,
+        s.dropped_flits,
+        s.flit_moves,
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.full_scale();
+    let seed: u64 = args.get_or("seed", 1);
+    let load: f64 = args.get_or("load", 0.7);
+    let warmup: u64 = args.get_or("warmup", 2_000);
+    let cycles: u64 = args.get_or("cycles", 6_000);
+    let algo_name = args.get("algo").unwrap_or("OmniWAR").to_string();
+    let threads_list: Vec<usize> = args
+        .get("threads-list")
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.parse().expect("bad --threads-list"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    let hx = evaluation_hyperx(full);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!(
+        "parallel_tick: {} ({} terminals), {algo_name} UR load {load}, \
+         {warmup}+{cycles} cycles, threads {threads_list:?}, {host_cpus} host cpus",
+        hx.name(),
+        hx.num_terminals()
+    );
+
+    let mut serial_secs = None;
+    let mut baseline_fp: Option<Vec<u64>> = None;
+    let mut digests_identical = true;
+    let mut results = Vec::new();
+    for &threads in &threads_list {
+        let mut cfg = evaluation_config();
+        cfg.tick_threads = threads;
+        let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+            hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
+                .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
+                .into();
+        let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
+        let pat = pattern_by_name("UR", hx.clone()).expect("UR pattern");
+        let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, seed);
+
+        let t0 = Instant::now();
+        sim.run(&mut traffic, warmup + cycles);
+        let secs = t0.elapsed().as_secs_f64();
+
+        let fp = fingerprint(&sim);
+        match &baseline_fp {
+            None => baseline_fp = Some(fp),
+            Some(base) => {
+                if *base != fp {
+                    digests_identical = false;
+                    eprintln!("ERROR: {threads}-thread run diverged from serial");
+                }
+            }
+        }
+        if threads == 1 {
+            serial_secs = Some(secs);
+        }
+        let speedup = serial_secs.map_or(f64::NAN, |s| s / secs);
+        eprintln!("  {threads} threads: {secs:.3}s  speedup {speedup:.2}x");
+        results.push(ThreadResult {
+            threads,
+            seconds: secs,
+            cycles_per_sec: (warmup + cycles) as f64 / secs,
+            speedup_vs_serial: speedup,
+        });
+    }
+    assert!(
+        digests_identical,
+        "parallel tick produced thread-count-dependent results"
+    );
+
+    let report = Report {
+        topology: hx.name(),
+        algo: algo_name,
+        load,
+        warmup_cycles: warmup,
+        measure_cycles: cycles,
+        seed,
+        host_cpus,
+        digests_identical,
+        results,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    match args.get("json") {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

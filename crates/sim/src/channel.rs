@@ -139,6 +139,39 @@ impl Channel {
         }
     }
 
+    /// Receiver side, read-only: every flit that has arrived by `now`, in
+    /// wire order. The parallel tick's compute phase peeks arrivals through
+    /// this; the commit phase consumes them with [`Self::discard_arrived`].
+    #[inline]
+    pub fn arrived_flits(&self, now: u64) -> impl Iterator<Item = (Flit, u8)> + '_ {
+        self.flits
+            .iter()
+            .take_while(move |&&(t, _, _)| t <= now)
+            .map(|&(_, f, vc)| (f, vc))
+    }
+
+    /// Sender side, read-only: every credit that has arrived by `now`.
+    #[inline]
+    pub fn arrived_credits(&self, now: u64) -> impl Iterator<Item = u8> + '_ {
+        self.credits
+            .iter()
+            .take_while(move |&&(t, _)| t <= now)
+            .map(|&(_, vc)| vc)
+    }
+
+    /// Drops everything that has arrived by `now` from both wires. Safe to
+    /// apply blanket-wise because every endpoint unconditionally consumes
+    /// all matured arrivals each cycle; the compute phase has already
+    /// observed them via the `arrived_*` iterators.
+    pub(crate) fn discard_arrived(&mut self, now: u64) {
+        while self.flits.front().is_some_and(|&(t, _, _)| t <= now) {
+            self.flits.pop_front();
+        }
+        while self.credits.front().is_some_and(|&(t, _)| t <= now) {
+            self.credits.pop_front();
+        }
+    }
+
     /// Whether anything is in flight (either direction) or awaiting
     /// fault-fallout processing.
     pub fn is_idle(&self) -> bool {

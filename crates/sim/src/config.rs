@@ -55,6 +55,11 @@ pub struct SimConfig {
     /// Legitimate paths are bounded by `dims + deroutes`, so the generous
     /// default only catches true routing livelock.
     pub max_packet_hops: u8,
+    /// Threads used for the per-cycle compute phase (routers and terminals
+    /// sharded across a persistent worker pool). Results are bit-identical
+    /// for every value; 1 (the default) runs fully serial. The default can
+    /// be overridden with the `HX_TICK_THREADS` environment variable.
+    pub tick_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -72,8 +77,18 @@ impl Default for SimConfig {
             atomic_queue_alloc: false,
             watchdog_stall_cycles: 10_000,
             max_packet_hops: 64,
+            tick_threads: default_tick_threads(),
         }
     }
+}
+
+/// `HX_TICK_THREADS` override for the default thread count (clamped to at
+/// least 1); anything unset or unparsable means serial.
+fn default_tick_threads() -> usize {
+    std::env::var("HX_TICK_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
 }
 
 impl SimConfig {

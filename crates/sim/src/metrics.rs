@@ -174,6 +174,16 @@ impl PhaseTimers {
     pub fn total_ns(&self) -> u64 {
         self.ingress_ns + self.route_ns + self.vc_alloc_ns + self.crossbar_ns + self.channel_ns
     }
+
+    /// Adds another attribution (per-shard timers folded at commit time;
+    /// under parallel execution the sum is CPU time, not wall time).
+    pub fn accumulate(&mut self, o: &PhaseTimers) {
+        self.ingress_ns += o.ingress_ns;
+        self.route_ns += o.route_ns;
+        self.vc_alloc_ns += o.vc_alloc_ns;
+        self.crossbar_ns += o.crossbar_ns;
+        self.channel_ns += o.channel_ns;
+    }
 }
 
 /// One non-zero `(vc, occupancy)` entry of a sampled input port.

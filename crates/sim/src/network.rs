@@ -2,17 +2,18 @@
 //! [`Topology`] + [`RoutingAlgorithm`] pair and advances them cycle by
 //! cycle.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hxcore::RoutingAlgorithm;
 use hxtopo::{ChannelKind, PortTarget, Topology};
 
 use crate::channel::Channel;
 use crate::config::SimConfig;
+use crate::exec::{MetricEvent, PoolOp, TickPool, TickSink};
 use crate::fault::FaultAction;
 use crate::metrics::Metrics;
 use crate::packet::PacketPool;
-use crate::router::{poison_packet, Router};
+use crate::router::{apply_commit, poison_packet, Router};
 use crate::stats::Stats;
 use crate::terminal::Terminal;
 use crate::trace::{DropReason, Trace};
@@ -29,6 +30,10 @@ pub struct Network {
     routers: Vec<Router>,
     terminals: Vec<Terminal>,
     channels: Vec<Channel>,
+    /// Per-shard outboxes, reused every cycle.
+    sinks: Vec<TickSink>,
+    /// Persistent tick workers, spawned lazily when `cfg.tick_threads > 1`.
+    exec: Option<TickPool>,
 }
 
 impl Network {
@@ -104,11 +109,20 @@ impl Network {
             routers,
             terminals,
             channels,
+            sinks: Vec::new(),
+            exec: None,
         }
     }
 
     /// Advances every router and terminal by one cycle. `metrics`, like
     /// `trace`, is pure observation and never perturbs simulation state.
+    ///
+    /// Two-phase deterministic cycle (see `exec`): routers and terminals
+    /// compute against the immutable pre-cycle channel/pool state into
+    /// per-shard outboxes (in parallel when `cfg.tick_threads > 1`), then
+    /// a serial commit replays the outboxes in endpoint-id order. The
+    /// replay order never depends on which thread ran which shard, so any
+    /// thread count produces bit-identical results.
     pub fn tick(
         &mut self,
         now: u64,
@@ -118,27 +132,163 @@ impl Network {
         mut trace: Option<&mut Trace>,
         mut metrics: Option<&mut Metrics>,
     ) {
-        let topo = &*self.topo;
-        let algo = &*self.algo;
-        for r in &mut self.routers {
-            r.tick(
-                now,
-                topo,
-                algo,
-                pool,
-                stats,
-                &mut self.channels,
-                trace.as_deref_mut(),
-                metrics.as_deref_mut(),
-            );
-        }
+        let threads = self.cfg.tick_threads.max(1);
+        let want_trace = trace.is_some();
+        let want_metrics = metrics.is_some();
         let timed = metrics.as_ref().is_some_and(|m| m.timers_enabled());
-        let mut stamp = timed.then(std::time::Instant::now);
-        for t in &mut self.terminals {
-            t.tick(now, pool, &mut self.channels, stats, delivered);
+
+        let nr = self.routers.len();
+        let nt = self.terminals.len();
+        let r_chunk = nr.div_ceil(threads).max(1);
+        let t_chunk = nt.div_ceil(threads).max(1);
+        let n_rshards = nr.div_ceil(r_chunk);
+        let n_shards = n_rshards + nt.div_ceil(t_chunk);
+        if self.sinks.len() < n_shards {
+            self.sinks.resize_with(n_shards, TickSink::default);
         }
-        if let Some(m) = metrics {
-            crate::metrics::lap(&mut stamp, &mut m.timers.channel_ns);
+        for s in &mut self.sinks[..n_shards] {
+            s.reset(want_trace, want_metrics, timed);
+        }
+
+        // ---- Compute phase: shards against the pre-cycle view. ----
+        {
+            let topo = &*self.topo;
+            let algo = &*self.algo;
+            let channels = &self.channels[..];
+            let pool_view = &*pool;
+            let (r_sinks, t_sinks) = self.sinks[..n_shards].split_at_mut(n_rshards);
+            if threads == 1 {
+                for (shard, sink) in self.routers.chunks_mut(r_chunk).zip(r_sinks) {
+                    for r in shard {
+                        r.tick(now, topo, algo, pool_view, channels, sink);
+                    }
+                }
+                for (shard, sink) in self.terminals.chunks_mut(t_chunk).zip(t_sinks) {
+                    let mut stamp = timed.then(std::time::Instant::now);
+                    for t in shard {
+                        t.tick(now, pool_view, channels, sink);
+                    }
+                    crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
+                }
+            } else {
+                enum Shard<'a> {
+                    Routers(&'a mut [Router], &'a mut TickSink),
+                    Terminals(&'a mut [Terminal], &'a mut TickSink),
+                }
+                let tasks: Vec<Mutex<Option<Shard>>> = self
+                    .routers
+                    .chunks_mut(r_chunk)
+                    .zip(r_sinks.iter_mut())
+                    .map(|(c, s)| Mutex::new(Some(Shard::Routers(c, s))))
+                    .chain(
+                        self.terminals
+                            .chunks_mut(t_chunk)
+                            .zip(t_sinks.iter_mut())
+                            .map(|(c, s)| Mutex::new(Some(Shard::Terminals(c, s)))),
+                    )
+                    .collect();
+                let run_shard = |i: usize| {
+                    let task = tasks[i].lock().unwrap().take();
+                    match task.expect("shard claimed twice") {
+                        Shard::Routers(shard, sink) => {
+                            for r in shard {
+                                r.tick(now, topo, algo, pool_view, channels, sink);
+                            }
+                        }
+                        Shard::Terminals(shard, sink) => {
+                            let mut stamp = timed.then(std::time::Instant::now);
+                            for t in shard {
+                                t.tick(now, pool_view, channels, sink);
+                            }
+                            crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
+                        }
+                    }
+                };
+                let exec = self.exec.get_or_insert_with(|| TickPool::new(threads - 1));
+                exec.run(tasks.len(), &run_shard);
+            }
+        }
+
+        // ---- Commit phase: serial, in endpoint-id order. ----
+        // Every endpoint consumed all matured arrivals during compute
+        // (peeked through the immutable view), so drop them wholesale.
+        for ch in &mut self.channels {
+            ch.discard_arrived(now);
+        }
+        for sink in &mut self.sinks[..n_shards] {
+            // Each channel has exactly one flit-sending and one
+            // credit-sending endpoint, so replaying per-endpoint outboxes
+            // in id order reproduces the serial engine's wire order.
+            for &(ch, flit, vc) in &sink.flits {
+                self.channels[ch].send_flit(now, flit, vc);
+            }
+            for &(ch, vc) in &sink.credits {
+                self.channels[ch].send_credit(now, vc);
+            }
+            // Pool replay keeps the free list (and therefore future
+            // PacketIds, which feed age-arbitration tie-breaks)
+            // thread-count-invariant.
+            for op in sink.pool_ops.drain(..) {
+                match op {
+                    PoolOp::Created(id) => pool.note_flit_created(id),
+                    PoolOp::Gone(id) => pool.note_flit_gone(id),
+                    PoolOp::Release(id) => pool.release(id),
+                    PoolOp::Commit {
+                        pkt,
+                        commit,
+                        count_hop,
+                    } => {
+                        let p = pool.get_mut(pkt);
+                        apply_commit(&mut p.route, commit);
+                        if count_hop {
+                            p.hops = p.hops.saturating_add(1);
+                        }
+                    }
+                    PoolOp::Inject { pkt, cycle } => pool.get_mut(pkt).inject = cycle,
+                    PoolOp::HopPoison(pkt) => poison_packet(
+                        pool,
+                        stats,
+                        trace.as_deref_mut(),
+                        pkt,
+                        now,
+                        DropReason::HopCap,
+                    ),
+                }
+            }
+            stats.merge_delta(&sink.stats);
+            if let Some(t) = trace.as_deref_mut() {
+                for &h in &sink.hops {
+                    t.record(h);
+                }
+            }
+            if let Some(m) = metrics.as_deref_mut() {
+                for ev in &sink.events {
+                    match *ev {
+                        MetricEvent::Grant {
+                            router,
+                            out_port,
+                            oldest,
+                            ejection,
+                            nonminimal,
+                            commit_dim,
+                        } => m.on_grant(
+                            router as usize,
+                            out_port as usize,
+                            oldest,
+                            ejection,
+                            nonminimal,
+                            commit_dim.map(|d| d as usize),
+                        ),
+                        MetricEvent::Stall {
+                            router,
+                            out_port,
+                            credit_starved,
+                        } => m.on_alloc_stall(router as usize, out_port as usize, credit_starved),
+                    }
+                }
+                m.timers.accumulate(&sink.timers);
+            }
+            delivered.append(&mut sink.delivered);
         }
     }
 
@@ -346,7 +496,7 @@ impl Network {
                     };
                     if claimed < observable || claimed > observable + slack {
                         errs.push(format!(
-                            "router {} port {port} vc {vc}: claimed {claimed}                              observable {observable} slack {slack}",
+                            "router {} port {port} vc {vc}: claimed {claimed} observable {observable} slack {slack}",
                             r.id()
                         ));
                     }
@@ -354,5 +504,55 @@ impl Network {
             }
         }
         errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxcore::hyperx_algorithm;
+    use hxtopo::HyperX;
+
+    fn small_net() -> Network {
+        let hx = Arc::new(HyperX::uniform(2, 2, 1));
+        let algo: Arc<dyn RoutingAlgorithm> =
+            hyperx_algorithm("DOR", hx.clone(), 8).expect("DOR").into();
+        let cfg = SimConfig {
+            buf_flits: 32,
+            crossbar_latency: 5,
+            router_chan_latency: 8,
+            term_chan_latency: 2,
+            ..SimConfig::default()
+        };
+        Network::new(hx, algo, cfg, 1)
+    }
+
+    /// A forced flow-control violation renders as exactly one clean
+    /// diagnostic line: no embedded newlines, no runs of spaces.
+    #[test]
+    fn audit_violation_renders_on_one_clean_line() {
+        let mut net = small_net();
+        assert!(
+            net.audit_flow_control().is_empty(),
+            "idle net must audit clean"
+        );
+        // Fake occupancy on a router-to-router port: the sender now thinks
+        // 5 credits are consumed on VC 0 while nothing is observable.
+        let port = (0..net.topo.num_ports(0))
+            .find(|&p| matches!(net.topo.port_target(0, p), PortTarget::Router { .. }))
+            .expect("router 0 has a network port");
+        let mut occ = vec![0usize; net.cfg.num_vcs];
+        occ[0] = 5;
+        net.routers[0].reset_out_credits(port, &occ);
+        let errs = net.audit_flow_control();
+        assert!(!errs.is_empty(), "forced violation must be reported");
+        for e in &errs {
+            assert!(!e.contains('\n'), "violation spans lines: {e:?}");
+            assert!(!e.contains("  "), "violation has run of spaces: {e:?}");
+            assert!(
+                e.contains("claimed 5 observable 0 slack 0"),
+                "unexpected: {e:?}"
+            );
+        }
     }
 }

@@ -33,7 +33,8 @@ use rand::{RngExt, SeedableRng};
 
 use crate::channel::Channel;
 use crate::config::SimConfig;
-use crate::metrics::{lap, Metrics};
+use crate::exec::{MetricEvent, PoolOp, TickSink};
+use crate::metrics::lap;
 use crate::packet::{Flit, PacketId, PacketPool};
 use crate::stats::Stats;
 use crate::trace::{DropReason, DropRecord, HopRecord, Trace};
@@ -159,8 +160,6 @@ pub struct Router {
     // Scratch buffers reused every cycle.
     heads: Vec<(u64, PacketId, u16, u8)>,
     cands: Vec<Candidate>,
-    /// Scratch for flits pulled off a channel each ingress pass.
-    arrival_scratch: Vec<(Flit, u8)>,
 }
 
 impl Router {
@@ -197,7 +196,6 @@ impl Router {
             flits_buffered: 0,
             heads: Vec::new(),
             cands: Vec::new(),
-            arrival_scratch: Vec::new(),
         }
     }
 
@@ -263,70 +261,52 @@ impl Router {
             + self.out_q.iter().map(|q| q.len()).sum::<usize>()
     }
 
-    /// One simulation cycle. `channels` is the global channel table.
-    /// `metrics`, like `trace`, is optional instrumentation: it observes
-    /// grants/stalls (and, when timers are on, phase wall time) without
-    /// touching simulation state.
-    #[allow(clippy::too_many_arguments)]
-    pub fn tick(
+    /// One simulation cycle's compute phase. Reads the pre-cycle state of
+    /// `channels` and `pool` (both immutable — shards share them) and
+    /// defers every externally visible effect into `sink`, which the
+    /// network's commit phase replays in router-id order. Trace/metric
+    /// observation rides the sink too, gated by its `want_*` flags.
+    pub(crate) fn tick(
         &mut self,
         now: u64,
         topo: &dyn Topology,
         algo: &dyn RoutingAlgorithm,
-        pool: &mut PacketPool,
-        stats: &mut Stats,
-        channels: &mut [Channel],
-        trace: Option<&mut Trace>,
-        mut metrics: Option<&mut Metrics>,
+        pool: &PacketPool,
+        channels: &[Channel],
+        sink: &mut TickSink,
     ) {
-        let timed = metrics.as_ref().is_some_and(|m| m.timers_enabled());
-        let mut stamp = timed.then(std::time::Instant::now);
-        self.ingress(now, pool, stats, channels);
-        if let Some(m) = metrics.as_deref_mut() {
-            lap(&mut stamp, &mut m.timers.ingress_ns);
-        }
-        let route_before = metrics.as_deref().map(|m| m.timers.route_ns);
-        self.allocate(now, topo, algo, pool, stats, trace, metrics.as_deref_mut());
-        if let Some(m) = metrics.as_deref_mut() {
-            lap(&mut stamp, &mut m.timers.vc_alloc_ns);
+        let mut stamp = sink.timed.then(std::time::Instant::now);
+        self.ingress(now, pool, channels, sink);
+        lap(&mut stamp, &mut sink.timers.ingress_ns);
+        let route_before = sink.timers.route_ns;
+        self.allocate(now, topo, algo, pool, sink);
+        if sink.timed {
+            lap(&mut stamp, &mut sink.timers.vc_alloc_ns);
             // `lap` measured the whole allocate phase; carve the inner
             // route-computation time back out so the two don't double count.
-            let route_delta = m.timers.route_ns - route_before.unwrap_or(0);
-            m.timers.vc_alloc_ns = m.timers.vc_alloc_ns.saturating_sub(route_delta);
+            let route_delta = sink.timers.route_ns - route_before;
+            sink.timers.vc_alloc_ns = sink.timers.vc_alloc_ns.saturating_sub(route_delta);
         }
-        self.switch_traverse(now, pool, stats, channels);
+        self.switch_traverse(now, pool, sink);
         self.xbar_drain(now);
-        if let Some(m) = metrics.as_deref_mut() {
-            lap(&mut stamp, &mut m.timers.crossbar_ns);
-        }
-        self.link_egress(now, channels);
-        if let Some(m) = metrics {
-            lap(&mut stamp, &mut m.timers.channel_ns);
-        }
+        lap(&mut stamp, &mut sink.timers.crossbar_ns);
+        self.link_egress(sink);
+        lap(&mut stamp, &mut sink.timers.channel_ns);
     }
 
     /// Phase 1: accept arriving flits and returning credits. Flits of
     /// poisoned packets are discarded on arrival, with their buffer
     /// credit returned immediately.
-    fn ingress(
-        &mut self,
-        now: u64,
-        pool: &mut PacketPool,
-        stats: &mut Stats,
-        channels: &mut [Channel],
-    ) {
-        let mut arrivals = std::mem::take(&mut self.arrival_scratch);
+    fn ingress(&mut self, now: u64, pool: &PacketPool, channels: &[Channel], sink: &mut TickSink) {
         for port in 0..self.num_ports {
             if let Some(ch) = self.in_chan[port] {
-                arrivals.clear();
-                channels[ch].recv_flits(now, |flit, vc| arrivals.push((flit, vc)));
-                for &(flit, vc) in arrivals.iter() {
+                for (flit, vc) in channels[ch].arrived_flits(now) {
                     if pool.is_poisoned(flit.pkt) {
                         // Discard and return the buffer credit right away:
                         // the flit never occupies a slot here.
-                        channels[ch].send_credit(now, vc);
-                        stats.dropped_flits += 1;
-                        pool.note_flit_gone(flit.pkt);
+                        sink.credits.push((ch, vc));
+                        sink.stats.dropped_flits += 1;
+                        sink.pool_ops.push(PoolOp::Gone(flit.pkt));
                         continue;
                     }
                     let q = &mut self.in_q[port * self.num_vcs + vc as usize];
@@ -340,40 +320,37 @@ impl Router {
                         });
                         // The buffer itself pins the packet slot until it
                         // is dismantled (tail forwarded or fault-reaped).
-                        pool.note_flit_created(flit.pkt);
+                        sink.pool_ops.push(PoolOp::Created(flit.pkt));
                     }
                     let back = q.back_mut().expect("body flit without a head");
                     debug_assert_eq!(back.pkt, flit.pkt, "packets interleaved on one VC");
                     back.flits.push_back(flit);
                     self.flits_buffered += 1;
-                    stats.flit_moves += 1;
+                    sink.stats.flit_moves += 1;
                 }
             }
             if let Some(ch) = self.out_chan[port] {
                 let base = port * self.num_vcs;
-                let credits = &mut self.out_credits;
-                let cap = self.buf_cap;
-                channels[ch].recv_credits(now, |vc| {
-                    credits[base + vc as usize] += 1;
-                    debug_assert!(credits[base + vc as usize] <= cap, "credit overflow");
-                });
+                for vc in channels[ch].arrived_credits(now) {
+                    self.out_credits[base + vc as usize] += 1;
+                    debug_assert!(
+                        self.out_credits[base + vc as usize] <= self.buf_cap,
+                        "credit overflow"
+                    );
+                }
             }
         }
-        self.arrival_scratch = arrivals;
     }
 
     /// Phase 2: route computation + virtual cut-through VC allocation,
     /// oldest packet first.
-    #[allow(clippy::too_many_arguments)]
     fn allocate(
         &mut self,
         now: u64,
         topo: &dyn Topology,
         algo: &dyn RoutingAlgorithm,
-        pool: &mut PacketPool,
-        stats: &mut Stats,
-        mut trace: Option<&mut Trace>,
-        mut metrics: Option<&mut Metrics>,
+        pool: &PacketPool,
+        sink: &mut TickSink,
     ) {
         if self.flits_buffered == 0 {
             return;
@@ -401,7 +378,6 @@ impl Router {
         heads.sort_unstable();
 
         let mut cands = std::mem::take(&mut self.cands);
-        let timed = metrics.as_ref().is_some_and(|m| m.timers_enabled());
         for (head_idx, &(_, pkt_id, port16, vc8)) in heads.iter().enumerate() {
             let (port, vc) = (port16 as usize, vc8 as usize);
             // For age-arbitration accounting: the first sorted head is this
@@ -423,7 +399,6 @@ impl Router {
                 let (_, eject_port) = topo.terminal_attach(dst_term);
                 if let Some(out_vc) = self.pick_vc(eject_port, 0..self.num_vcs, len) {
                     self.grant(
-                        pool,
                         pkt_id,
                         port,
                         vc,
@@ -432,12 +407,20 @@ impl Router {
                         len,
                         Commit::None,
                         false,
+                        sink,
                     );
-                    if let Some(m) = metrics.as_deref_mut() {
-                        m.on_grant(self.id, eject_port, oldest, true, false, None);
+                    if sink.want_metrics {
+                        sink.events.push(MetricEvent::Grant {
+                            router: self.id as u32,
+                            out_port: eject_port as u16,
+                            oldest,
+                            ejection: true,
+                            nonminimal: false,
+                            commit_dim: None,
+                        });
                     }
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.record(HopRecord {
+                    if sink.want_trace {
+                        sink.hops.push(HopRecord {
                             pkt: pkt_id,
                             tag: pool.get(pkt_id).tag,
                             router: self.id as u32,
@@ -447,24 +430,24 @@ impl Router {
                             cycle: now,
                         });
                     }
-                } else if let Some(m) = metrics.as_deref_mut() {
+                } else if sink.want_metrics {
                     let starved = self.has_unclaimed_vc(eject_port, 0..self.num_vcs);
-                    m.on_alloc_stall(self.id, eject_port, starved);
+                    sink.events.push(MetricEvent::Stall {
+                        router: self.id as u32,
+                        out_port: eject_port as u16,
+                        credit_starved: starved,
+                    });
                 }
                 continue;
             }
 
             // Livelock guard: a packet that has burned its hop budget is
-            // dropped instead of granted another network hop.
+            // dropped instead of granted another network hop. The poison
+            // itself lands at commit time, like every other effect, so it
+            // becomes visible network-wide at the next cycle regardless of
+            // router ids or thread count.
             if hops >= self.hop_cap {
-                poison_packet(
-                    pool,
-                    stats,
-                    trace.as_deref_mut(),
-                    pkt_id,
-                    now,
-                    DropReason::HopCap,
-                );
+                sink.pool_ops.push(PoolOp::HopPoison(pkt_id));
                 continue;
             }
 
@@ -487,12 +470,10 @@ impl Router {
                 state,
                 view: &view,
             };
-            let route_t0 = timed.then(std::time::Instant::now);
+            let route_t0 = sink.timed.then(std::time::Instant::now);
             algo.route(&ctx, &mut self.rng, &mut cands);
             if let Some(t0) = route_t0 {
-                if let Some(m) = metrics.as_deref_mut() {
-                    m.timers.route_ns += t0.elapsed().as_nanos() as u64;
-                }
+                sink.timers.route_ns += t0.elapsed().as_nanos() as u64;
             }
             // With every port up an empty candidate set is a routing bug;
             // under faults it just means "wait for a revival or a reroute".
@@ -522,21 +503,28 @@ impl Router {
             if let Some((key, out_port, class, commit)) = best {
                 let range = self.class_map.vcs_of(class as usize);
                 if let Some(out_vc) = self.pick_vc(out_port, range.clone(), len) {
-                    self.grant(pool, pkt_id, port, vc, out_port, out_vc, len, commit, true);
-                    if let Some(m) = metrics.as_deref_mut() {
+                    self.grant(pkt_id, port, vc, out_port, out_vc, len, commit, true, sink);
+                    if sink.want_metrics {
                         // A grant whose hop count exceeds the cheapest
                         // offered path is a deroute; DAL names its dimension
                         // in the commit, otherwise the port's topology
                         // dimension attributes it.
                         let nonminimal = key.1 > min_hops;
                         let dim = match commit {
-                            Commit::Deroute { dim } => Some(dim as usize),
+                            Commit::Deroute { dim } => Some(dim),
                             _ => None,
                         };
-                        m.on_grant(self.id, out_port, oldest, false, nonminimal, dim);
+                        sink.events.push(MetricEvent::Grant {
+                            router: self.id as u32,
+                            out_port: out_port as u16,
+                            oldest,
+                            ejection: false,
+                            nonminimal,
+                            commit_dim: dim,
+                        });
                     }
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.record(HopRecord {
+                    if sink.want_trace {
+                        sink.hops.push(HopRecord {
                             pkt: pkt_id,
                             tag: pool.get(pkt_id).tag,
                             router: self.id as u32,
@@ -546,9 +534,13 @@ impl Router {
                             cycle: now,
                         });
                     }
-                } else if let Some(m) = metrics.as_deref_mut() {
+                } else if sink.want_metrics {
                     let starved = self.has_unclaimed_vc(out_port, range);
-                    m.on_alloc_stall(self.id, out_port, starved);
+                    sink.events.push(MetricEvent::Stall {
+                        router: self.id as u32,
+                        out_port: out_port as u16,
+                        credit_starved: starved,
+                    });
                 }
             }
         }
@@ -596,11 +588,14 @@ impl Router {
     }
 
     /// Commits a VC allocation: claims the downstream VC, reserves credits
-    /// for the whole packet, applies the routing commit, counts the hop.
+    /// for the whole packet, and defers the packet-state update (routing
+    /// commit + hop count) to the commit phase. Nothing reads that state
+    /// again before the next cycle — the packet is routed here and the
+    /// downstream router can't see its head for at least one channel
+    /// latency — so deferral is invisible.
     #[allow(clippy::too_many_arguments)]
     fn grant(
         &mut self,
-        pool: &mut PacketPool,
         pkt_id: PacketId,
         in_port: usize,
         in_vc: usize,
@@ -609,6 +604,7 @@ impl Router {
         len: u16,
         commit: Commit,
         network_hop: bool,
+        sink: &mut TickSink,
     ) {
         let o = self.pv(out_port, out_vc);
         debug_assert!(self.out_owner[o].is_none());
@@ -621,23 +617,20 @@ impl Router {
             .find(|b| b.pkt == pkt_id)
             .expect("granted packet vanished from its input VC");
         buf.route = Some((out_port as u16, out_vc as u8));
-        let pkt = pool.get_mut(pkt_id);
-        apply_commit(&mut pkt.route, commit);
-        if network_hop && self.port_term[out_port].is_none() {
-            pkt.hops = pkt.hops.saturating_add(1);
+        let count_hop = network_hop && self.port_term[out_port].is_none();
+        if count_hop || !matches!(commit, Commit::None) {
+            sink.pool_ops.push(PoolOp::Commit {
+                pkt: pkt_id,
+                commit,
+                count_hop,
+            });
         }
     }
 
     /// Phase 3: each input port forwards up to `crossbar_speedup` flits
     /// (oldest routed packet first) into the crossbar, returning credits
     /// upstream.
-    fn switch_traverse(
-        &mut self,
-        now: u64,
-        pool: &mut PacketPool,
-        stats: &mut Stats,
-        channels: &mut [Channel],
-    ) {
+    fn switch_traverse(&mut self, now: u64, pool: &PacketPool, sink: &mut TickSink) {
         if self.flits_buffered == 0 {
             return;
         }
@@ -669,10 +662,10 @@ impl Router {
                 let flit = buf.flits.pop_front().expect("picked a non-empty packet");
                 buf.sent += 1;
                 self.flits_buffered -= 1;
-                stats.flit_moves += 1;
+                sink.stats.flit_moves += 1;
                 if flit.is_tail() {
                     self.in_q[i].remove(bi);
-                    pool.note_flit_gone(flit.pkt); // the buffer's own pin
+                    sink.pool_ops.push(PoolOp::Gone(flit.pkt)); // the buffer's own pin
                     let o = self.pv(out_port as usize, out_vc as usize);
                     debug_assert_eq!(self.out_owner[o], Some(flit.pkt));
                     self.out_owner[o] = None;
@@ -682,7 +675,7 @@ impl Router {
                 self.out_backlog[out_port as usize] += 1;
                 // Credit for the freed input-buffer slot.
                 if let Some(ch) = self.in_chan[port] {
-                    channels[ch].send_credit(now, vc as u8);
+                    sink.credits.push((ch, vc as u8));
                 }
             }
         }
@@ -699,13 +692,13 @@ impl Router {
         }
     }
 
-    /// Phase 5: one flit per output port onto the wire.
-    fn link_egress(&mut self, now: u64, channels: &mut [Channel]) {
+    /// Phase 5: one flit per output port onto the wire (sent at commit).
+    fn link_egress(&mut self, sink: &mut TickSink) {
         for port in 0..self.num_ports {
             if let Some((flit, vc)) = self.out_q[port].pop_front() {
                 self.out_backlog[port] -= 1;
                 let ch = self.out_chan[port].expect("queued flit on unwired port");
-                channels[ch].send_flit(now, flit, vc);
+                sink.flits.push((ch, flit, vc));
             }
         }
     }
@@ -841,7 +834,7 @@ impl Router {
 }
 
 /// Applies a routing commit to packet state.
-fn apply_commit(state: &mut PacketRouteState, commit: Commit) {
+pub(crate) fn apply_commit(state: &mut PacketRouteState, commit: Commit) {
     match commit {
         Commit::None => {}
         Commit::SetValiant {

@@ -45,6 +45,9 @@ pub struct LoadPoint {
     pub accepted: f64,
     /// Mean packet latency (cycles) over the measurement window.
     pub mean_latency: f64,
+    /// Mean network-only latency (head injection to tail ejection),
+    /// excluding source-queue wait.
+    pub mean_net_latency: f64,
     /// Median packet latency.
     pub p50_latency: f64,
     /// 99th-percentile packet latency.
@@ -100,6 +103,7 @@ pub fn run_steady_state(
         offered,
         accepted: sim.stats.accepted_throughput(sim.now, terminals),
         mean_latency: sim.stats.mean_latency(),
+        mean_net_latency: sim.stats.mean_net_latency(),
         p50_latency: sim.stats.hist.quantile(0.5),
         p99_latency: sim.stats.hist.quantile(0.99),
         mean_hops: sim.stats.mean_hops(),

@@ -23,6 +23,10 @@ pub struct Stats {
     pub delivered_packets: u64,
     /// Sum of delivered packet latencies (birth -> tail ejection).
     pub latency_sum: u64,
+    /// Sum of delivered network-only latencies (head injection -> tail
+    /// ejection); `latency_sum - net_latency_sum` is time spent waiting in
+    /// source queues.
+    pub net_latency_sum: u64,
     /// Max delivered packet latency in the window.
     pub latency_max: u64,
     /// Sum of router-to-router hop counts of delivered packets.
@@ -54,11 +58,15 @@ impl Stats {
         Self::default()
     }
 
-    /// Records a delivered packet.
-    pub fn record_delivery(&mut self, latency: u64, hops: u8, len: u16) {
+    /// Records a delivered packet. `latency` is birth -> tail ejection,
+    /// `net_latency` is head injection -> tail ejection (the in-network
+    /// part; the difference is source-queue wait).
+    pub fn record_delivery(&mut self, latency: u64, net_latency: u64, hops: u8, len: u16) {
+        debug_assert!(net_latency <= latency, "network time exceeds total");
         self.delivered_flits += len as u64;
         self.delivered_packets += 1;
         self.latency_sum += latency;
+        self.net_latency_sum += net_latency;
         self.latency_max = self.latency_max.max(latency);
         self.hops_sum += hops as u64;
         self.hist.record(latency);
@@ -83,6 +91,15 @@ impl Stats {
             0.0
         } else {
             self.latency_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Mean network-only latency (injection -> ejection) in the window.
+    pub fn mean_net_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.net_latency_sum as f64 / self.delivered_packets as f64
         }
     }
 
@@ -119,9 +136,33 @@ impl Stats {
         self.delivered_flits = 0;
         self.delivered_packets = 0;
         self.latency_sum = 0;
+        self.net_latency_sum = 0;
         self.latency_max = 0;
         self.hops_sum = 0;
         self.hist.reset();
+    }
+
+    /// Folds a per-shard counter delta into this accumulator (parallel
+    /// tick commit). Every field is a sum except `latency_max` (max) and
+    /// `window_start` (owned by the accumulator). All-integer, so merge
+    /// order cannot perturb results.
+    pub fn merge_delta(&mut self, d: &Stats) {
+        self.generated_flits += d.generated_flits;
+        self.injected_flits += d.injected_flits;
+        self.delivered_flits += d.delivered_flits;
+        self.delivered_packets += d.delivered_packets;
+        self.latency_sum += d.latency_sum;
+        self.net_latency_sum += d.net_latency_sum;
+        self.latency_max = self.latency_max.max(d.latency_max);
+        self.hops_sum += d.hops_sum;
+        self.hist.merge(&d.hist);
+        self.total_generated_flits += d.total_generated_flits;
+        self.total_delivered_flits += d.total_delivered_flits;
+        self.total_delivered_packets += d.total_delivered_packets;
+        self.dropped_flits += d.dropped_flits;
+        self.dropped_packets += d.dropped_packets;
+        self.fault_events += d.fault_events;
+        self.flit_moves += d.flit_moves;
     }
 }
 
@@ -152,7 +193,7 @@ mod tests {
     fn window_reset_preserves_totals() {
         let mut s = Stats::new();
         s.record_generation(4);
-        s.record_delivery(100, 3, 4);
+        s.record_delivery(100, 80, 3, 4);
         s.reset_window(50);
         assert_eq!(s.delivered_packets, 0);
         assert_eq!(s.total_delivered_packets, 1);
@@ -164,7 +205,7 @@ mod tests {
     fn throughput_normalizes_by_cycles_and_terminals() {
         let mut s = Stats::new();
         s.reset_window(100);
-        s.record_delivery(10, 1, 50);
+        s.record_delivery(10, 10, 1, 50);
         // 50 flits over 100 cycles and 2 terminals = 0.25.
         assert!((s.accepted_throughput(200, 2) - 0.25).abs() < 1e-12);
     }
@@ -172,8 +213,8 @@ mod tests {
     #[test]
     fn mean_latency_and_hops() {
         let mut s = Stats::new();
-        s.record_delivery(100, 2, 1);
-        s.record_delivery(300, 4, 1);
+        s.record_delivery(100, 60, 2, 1);
+        s.record_delivery(300, 240, 4, 1);
         assert!((s.mean_latency() - 200.0).abs() < 1e-12);
         assert!((s.mean_hops() - 3.0).abs() < 1e-12);
     }

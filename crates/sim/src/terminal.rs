@@ -9,8 +9,8 @@ use rand::SeedableRng;
 
 use crate::channel::Channel;
 use crate::config::SimConfig;
+use crate::exec::{PoolOp, TickSink};
 use crate::packet::{Flit, PacketId, PacketPool};
-use crate::stats::Stats;
 use crate::workload::Delivered;
 
 /// One compute endpoint.
@@ -23,12 +23,17 @@ pub struct Terminal {
     cur: Option<(PacketId, u16, u8)>,
     /// Credits for the attached router's input buffers, per VC.
     credits: Vec<u32>,
+    /// Router input-buffer depth per VC (atomic allocation needs to know
+    /// when a VC is completely empty).
+    buf_cap: u32,
+    /// Atomic queue allocation (Section 4.2): injection, like the routers'
+    /// `pick_vc`, may only claim a completely empty VC.
+    atomic: bool,
     /// Channel toward the router (injection).
     pub(crate) out_chan: usize,
     /// Channel from the router (ejection).
     pub(crate) in_chan: usize,
     rng: SmallRng,
-    eject_scratch: Vec<(Flit, u8)>,
 }
 
 impl Terminal {
@@ -39,12 +44,13 @@ impl Terminal {
             inj_q: VecDeque::new(),
             cur: None,
             credits: vec![cfg.buf_flits as u32; cfg.num_vcs],
+            buf_cap: cfg.buf_flits as u32,
+            atomic: cfg.atomic_queue_alloc,
             out_chan,
             in_chan,
             rng: SmallRng::seed_from_u64(
                 seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(id as u64 + 1),
             ),
-            eject_scratch: Vec::new(),
         }
     }
 
@@ -63,56 +69,57 @@ impl Terminal {
         self.inj_q.push_back(pkt);
     }
 
-    /// One simulation cycle: absorb credits, consume arriving flits
-    /// (recording deliveries), and push at most one flit into the network.
-    pub fn tick(
+    /// One simulation cycle's compute phase: absorb credits, consume
+    /// arriving flits (recording deliveries), and push at most one flit
+    /// into the network. Like `Router::tick`, reads the pre-cycle channel
+    /// and pool state and defers all shared-state effects into `sink`.
+    pub(crate) fn tick(
         &mut self,
         now: u64,
-        pool: &mut PacketPool,
-        channels: &mut [Channel],
-        stats: &mut Stats,
-        delivered: &mut Vec<Delivered>,
+        pool: &PacketPool,
+        channels: &[Channel],
+        sink: &mut TickSink,
     ) {
         // Returning credits from the router.
-        {
-            let credits = &mut self.credits;
-            channels[self.out_chan].recv_credits(now, |vc| credits[vc as usize] += 1);
+        for vc in channels[self.out_chan].arrived_credits(now) {
+            self.credits[vc as usize] += 1;
         }
 
         // Ejection: consume everything that arrived; credits go straight
         // back (the terminal is an infinite sink).
-        let mut scratch = std::mem::take(&mut self.eject_scratch);
-        scratch.clear();
-        channels[self.in_chan].recv_flits(now, |flit, vc| scratch.push((flit, vc)));
-        for &(flit, vc) in &scratch {
-            channels[self.in_chan].send_credit(now, vc);
-            stats.flit_moves += 1;
+        for (flit, vc) in channels[self.in_chan].arrived_flits(now) {
+            sink.credits.push((self.in_chan, vc));
+            sink.stats.flit_moves += 1;
             if flit.is_tail() && !pool.is_poisoned(flit.pkt) {
                 let pkt = pool.get(flit.pkt);
                 debug_assert_eq!(pkt.dst as usize, self.id, "misrouted packet");
                 let latency = now - pkt.birth;
-                stats.record_delivery(latency, pkt.hops, pkt.len);
-                delivered.push(Delivered {
+                let net_latency = now - pkt.inject;
+                sink.stats
+                    .record_delivery(latency, net_latency, pkt.hops, pkt.len);
+                sink.delivered.push(Delivered {
                     src: pkt.src,
                     dst: pkt.dst,
                     len: pkt.len,
                     tag: pkt.tag,
                     birth: pkt.birth,
+                    inject: pkt.inject,
                     latency,
+                    net_latency,
                     hops: pkt.hops,
                 });
-                pool.note_flit_gone(flit.pkt);
-                pool.release(flit.pkt);
+                sink.pool_ops.push(PoolOp::Gone(flit.pkt));
+                sink.pool_ops.push(PoolOp::Release(flit.pkt));
             } else {
                 // Body flit, or the remnant of a fault-killed packet.
-                pool.note_flit_gone(flit.pkt);
+                sink.pool_ops.push(PoolOp::Gone(flit.pkt));
             }
         }
-        self.eject_scratch = scratch;
 
         // Injection: claim a VC for the next packet if idle (virtual
-        // cut-through: reserve credits for the whole packet), then send one
-        // flit per cycle.
+        // cut-through: reserve credits for the whole packet; under atomic
+        // queue allocation the VC must be completely empty, matching the
+        // routers' `pick_vc`), then send one flit per cycle.
         if self.cur.is_none() {
             if let Some(&pkt_id) = self.inj_q.front() {
                 let len = pool.get(pkt_id).len as u32;
@@ -120,7 +127,12 @@ impl Terminal {
                 // tie-break across fully-idle VCs avoids biasing VC 0.
                 let mut best: Option<(u32, u32, usize)> = None;
                 for (vc, &cr) in self.credits.iter().enumerate() {
-                    if cr >= len {
+                    let ok = if self.atomic {
+                        cr == self.buf_cap
+                    } else {
+                        cr >= len
+                    };
+                    if ok {
                         let salt = rand::RngExt::random::<u32>(&mut self.rng);
                         if best.is_none_or(|(b, s, _)| (cr, salt) > (b, s)) {
                             best = Some((cr, salt, vc));
@@ -131,9 +143,12 @@ impl Terminal {
                     self.inj_q.pop_front();
                     self.credits[vc] -= len;
                     self.cur = Some((pkt_id, 0, vc as u8));
-                    pool.get_mut(pkt_id).inject = now;
+                    sink.pool_ops.push(PoolOp::Inject {
+                        pkt: pkt_id,
+                        cycle: now,
+                    });
                     // The in-progress injection pins the packet slot.
-                    pool.note_flit_created(pkt_id);
+                    sink.pool_ops.push(PoolOp::Created(pkt_id));
                 }
             }
         }
@@ -144,13 +159,13 @@ impl Terminal {
                 idx,
                 len,
             };
-            pool.note_flit_created(pkt_id);
-            channels[self.out_chan].send_flit(now, flit, vc);
-            stats.record_injection();
-            stats.flit_moves += 1;
+            sink.pool_ops.push(PoolOp::Created(pkt_id));
+            sink.flits.push((self.out_chan, flit, vc));
+            sink.stats.record_injection();
+            sink.stats.flit_moves += 1;
             if flit.is_tail() {
                 self.cur = None;
-                pool.note_flit_gone(pkt_id); // drop the injection pin
+                sink.pool_ops.push(PoolOp::Gone(pkt_id)); // drop the injection pin
             } else {
                 self.cur = Some((pkt_id, idx + 1, vc));
             }
@@ -167,6 +182,97 @@ impl Terminal {
                 self.credits[vc as usize] += (len - idx) as u32;
                 self.cur = None;
                 pool.note_flit_gone(pkt_id); // drop the injection pin
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    fn mk_pkt(len: u16) -> Packet {
+        Packet {
+            src: 0,
+            dst: 0,
+            dst_router: 0,
+            len,
+            hops: 0,
+            birth: 0,
+            inject: u64::MAX,
+            route: Default::default(),
+            tag: 0,
+        }
+    }
+
+    fn cfg(atomic: bool) -> SimConfig {
+        SimConfig {
+            num_vcs: 1,
+            buf_flits: 16,
+            atomic_queue_alloc: atomic,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Runs `term` for one cycle and reports whether it put a flit on the
+    /// wire.
+    fn tick_once(term: &mut Terminal, now: u64, pool: &PacketPool, channels: &[Channel]) -> bool {
+        let mut sink = TickSink::default();
+        sink.reset(false, false, false);
+        term.tick(now, pool, channels, &mut sink);
+        !sink.flits.is_empty()
+    }
+
+    /// Regression for the Section 4.2 atomic-queue-allocation contract at
+    /// the injection side: a terminal may only claim a VC whose downstream
+    /// buffer is *completely empty* (all credits present), exactly like the
+    /// routers' `pick_vc`. A partially-credited VC that could hold the
+    /// packet must be refused under atomic allocation (and accepted
+    /// without it).
+    #[test]
+    fn atomic_injection_requires_fully_credited_vc() {
+        for atomic in [false, true] {
+            let mut pool = PacketPool::new();
+            let p1 = pool.alloc(mk_pkt(4));
+            let p2 = pool.alloc(mk_pkt(4));
+            let channels = vec![Channel::new(1), Channel::new(1)];
+            let c = cfg(atomic);
+            let mut term = Terminal::new(0, &c, 0, 1, 1);
+            term.enqueue(p1);
+            term.enqueue(p2);
+
+            // Serialize the first packet fully: 4 flits over cycles 0..4.
+            for now in 0..4 {
+                assert!(tick_once(&mut term, now, &pool, &channels));
+            }
+            assert_eq!(term.credits[0], 12, "4 credits reserved, none returned");
+
+            // The single VC is only partially credited (12 of 16): atomic
+            // allocation must refuse the second packet, non-atomic takes it.
+            let sent = tick_once(&mut term, 4, &pool, &channels);
+            assert_eq!(
+                sent, !atomic,
+                "atomic={atomic}: injection into a partially-credited VC"
+            );
+
+            if atomic {
+                // Returning only part of the reservation is not enough.
+                let mut ch = Channel::new(1);
+                for _ in 0..2 {
+                    ch.send_credit(4, 0);
+                }
+                let channels = vec![ch, Channel::new(1)];
+                assert!(!tick_once(&mut term, 5, &pool, &channels));
+                assert_eq!(term.credits[0], 14);
+                // Once every credit is home the claim goes through.
+                let mut ch = Channel::new(1);
+                for _ in 0..2 {
+                    ch.send_credit(5, 0);
+                }
+                let channels = vec![ch, Channel::new(1)];
+                assert!(tick_once(&mut term, 6, &pool, &channels));
+                assert_eq!(term.credits[0], 12, "whole-packet reservation taken");
             }
         }
     }

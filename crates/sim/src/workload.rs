@@ -33,8 +33,14 @@ pub struct Delivered {
     pub tag: u64,
     /// Cycle the packet was created.
     pub birth: u64,
+    /// Cycle the head flit left the source terminal's queue onto the wire
+    /// (`birth..inject` is source-queue wait).
+    pub inject: u64,
     /// Total latency (creation to tail ejection), in cycles.
     pub latency: u64,
+    /// Network-only latency (head injection to tail ejection), in cycles.
+    /// Invariant: `(inject - birth) + net_latency == latency`.
+    pub net_latency: u64,
     /// Router-to-router hops taken.
     pub hops: u8,
 }

@@ -11,15 +11,16 @@
 //!    spares are head-of-line-blocking relief — footnote 4's methodology).
 //!
 //! ```text
-//! cargo run --release -p hxbench --bin ablation -- [--json out.jsonl]
+//! cargo run --release -p hxbench --bin ablation -- \
+//!     [--full] [--seed 1] [--threads N] [--json out.jsonl]
 //! ```
 
 use std::sync::Arc;
 
-use hxbench::{evaluation_config, evaluation_hyperx, render_table, write_jsonl, Args};
+use hxbench::{evaluation_config, evaluation_hyperx, render_table, write_jsonl, Args, CommonArgs};
 use hxcore::{DimWar, OmniWar, RoutingAlgorithm};
 use hxsim::{run_steady_state, Sim, SimConfig, SteadyOpts};
-use hxtopo::Topology;
+use hxtopo::{HyperX, Topology};
 use hxtraffic::{pattern_by_name, SyntheticWorkload};
 use serde::Serialize;
 
@@ -36,13 +37,13 @@ struct Row {
 }
 
 fn run_one(
+    hx: &Arc<HyperX>,
     algo: Arc<dyn RoutingAlgorithm>,
     cfg: SimConfig,
     pattern: &str,
     load: f64,
     seed: u64,
 ) -> (f64, f64, f64, bool) {
-    let hx = evaluation_hyperx(false);
     let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
     let pat = pattern_by_name(pattern, hx.clone()).unwrap();
     let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, seed);
@@ -52,16 +53,18 @@ fn run_one(
 
 fn main() {
     let args = Args::parse();
-    let seed: u64 = args.get_or("seed", 1);
-    let cfg = evaluation_config();
-    let hx = evaluation_hyperx(false);
+    let common = CommonArgs::parse(&args);
+    let seed = common.seed;
+    let mut cfg = evaluation_config();
+    cfg.tick_threads = common.threads;
+    let hx = evaluation_hyperx(common.full);
     let mut rows: Vec<Row> = Vec::new();
 
     // 1. OmniWAR deroute budget on DCR (worst case) and S2.
     for &(pattern, load) in &[("DCR", 0.40), ("S2", 0.90)] {
         for m in [0usize, 1, 2, 5] {
             let algo: Arc<dyn RoutingAlgorithm> = Arc::new(OmniWar::new(hx.clone(), 8, m));
-            let (acc, lat, hops, sat) = run_one(algo, cfg, pattern, load, seed);
+            let (acc, lat, hops, sat) = run_one(&hx, algo, cfg, pattern, load, seed);
             rows.push(Row {
                 study: "omniwar-deroutes".into(),
                 variant: format!("M={m}"),
@@ -79,7 +82,7 @@ fn main() {
     for &restrict in &[true, false] {
         let algo: Arc<dyn RoutingAlgorithm> =
             Arc::new(OmniWar::with_options(hx.clone(), 8, 5, restrict));
-        let (acc, lat, hops, sat) = run_one(algo, cfg, "DCR", 0.40, seed);
+        let (acc, lat, hops, sat) = run_one(&hx, algo, cfg, "DCR", 0.40, seed);
         rows.push(Row {
             study: "backtoback-restriction".into(),
             variant: if restrict { "restricted" } else { "free" }.into(),
@@ -99,7 +102,7 @@ fn main() {
             num_vcs: vcs,
             ..cfg
         };
-        let (acc, lat, hops, sat) = run_one(algo, cfg_v, "BC", 0.45, seed);
+        let (acc, lat, hops, sat) = run_one(&hx, algo, cfg_v, "BC", 0.45, seed);
         rows.push(Row {
             study: "dimwar-vc-budget".into(),
             variant: format!("{vcs} VCs"),
@@ -136,5 +139,5 @@ fn main() {
     println!("restriction, DimWAR VC budget");
     println!();
     println!("{}", render_table(&header, &table));
-    write_jsonl(args.get("json"), &rows);
+    write_jsonl(common.json.as_deref(), &rows);
 }

@@ -8,50 +8,65 @@
 //! 1.0 while DOR — whose single minimal candidate may be dead — wedges on
 //! affected flows and loses them to the watchdog cutoff.
 //!
+//! This binary is a thin wrapper over the `hx` experiment orchestrator
+//! (`hxharness`): it assembles the same declarative sweep spec that
+//! `experiments/fault_resilience.toml` describes and hands it to the
+//! shared scheduler, so completed points are answered from the
+//! content-addressed store under `results/store/` and an interrupted
+//! sweep resumes where it left off. Pass `--no-cache` to bypass the store.
+//!
 //! ```text
 //! cargo run --release -p hxbench --bin fault_resilience -- \
 //!     [--algos DOR,DimWAR,OmniWAR] [--fails 0,1,2,4,8] [--reps 3] \
-//!     [--load 0.2] [--cycles 10000] [--seed 1] [--json out.jsonl] \
-//!     [--threads N]
+//!     [--load 0.2] [--cycles 10000] [--full] [--seed 1] [--json out.jsonl] \
+//!     [--threads N] [--no-cache]
 //! ```
 //!
 //! `--threads N` shards every simulation's per-cycle compute across N
 //! worker threads (bit-identical results for any N; also settable via
 //! `HX_TICK_THREADS`). Fault application itself stays serial at cycle
 //! boundaries, so fault schedules are thread-count-invariant too.
+//! Default network is a 3x3x2 (54-terminal) HyperX; `--full` runs the
+//! reduced evaluation network (3x4x4, 256 terminals).
 
-use std::sync::Arc;
+use std::path::Path;
 
 use hxbench::{
-    parallel_map, render_metrics_table, render_table, write_jsonl, Args, MetricsArgs, MetricsRow,
+    render_metrics_table, render_table, write_jsonl, Args, CommonArgs, MetricsArgs, MetricsRow,
 };
-use hxcore::hyperx_algorithm;
-use hxsim::{FaultSchedule, IdleWorkload, Sim, SimConfig};
-use hxtopo::{FaultSet, HyperX, Topology};
-use hxtraffic::{pattern_by_name, SyntheticWorkload};
-use serde::Serialize;
+use hxharness::{parse_json, run_sweep, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts};
+use hxsim::{SimConfig, SteadyOpts};
 
 const DEFAULT_ALGOS: &[&str] = &["DOR", "DimWAR", "OmniWAR"];
 
-#[derive(Serialize, Clone)]
+/// The fields of a harness result row that the table renders.
 struct Row {
     algo: String,
-    failed_links: usize,
-    seed: u64,
-    attempted_packets: u64,
-    delivered_packets: u64,
-    dropped_packets: u64,
-    stranded_packets: u64,
+    fails: usize,
     delivered_fraction: f64,
-    mean_latency: f64,
-    p99_latency: f64,
-    mean_hops: f64,
     wedged: bool,
+}
+
+fn parse_row(line: &str) -> Row {
+    let v = parse_json(line).expect("harness rows are valid JSON");
+    Row {
+        algo: v
+            .get("algo")
+            .and_then(|x| x.as_str())
+            .expect("algo")
+            .to_string(),
+        fails: v.get("fails").and_then(|x| x.as_i64()).expect("fails") as usize,
+        delivered_fraction: v
+            .get("delivered_fraction")
+            .and_then(|x| x.as_f64())
+            .expect("delivered_fraction"),
+        wedged: v.get("wedged").and_then(|x| x.as_bool()).expect("wedged"),
+    }
 }
 
 fn main() {
     let args = Args::parse();
-    let seed0: u64 = args.get_or("seed", 1);
+    let common = CommonArgs::parse(&args);
     let reps: u64 = args.get_or("reps", 3);
     let load: f64 = args.get_or("load", 0.2);
     let cycles: u64 = args.get_or("cycles", 10_000);
@@ -68,88 +83,72 @@ fn main() {
         })
         .unwrap_or_else(|| vec![0, 1, 2, 4, 8]);
 
-    let hx = Arc::new(HyperX::uniform(3, 3, 2));
-    let mut cfg = SimConfig {
-        // Wedged flows must fail fast so the sweep terminates.
-        watchdog_stall_cycles: 2_000,
-        ..SimConfig::default()
+    let (width, terminals) = if common.full { (4, 4) } else { (3, 2) };
+    let spec = ExperimentSpec {
+        name: "fault_resilience".to_string(),
+        kind: Kind::Fault,
+        description: "Delivered fraction and latency vs failed links".to_string(),
+        network: NetworkSpec {
+            dims: 3,
+            width,
+            terminals,
+        },
+        axes: hxharness::spec::Axes {
+            patterns: vec!["UR".to_string()],
+            algos: algos.clone(),
+            loads: vec![load],
+            seeds: (0..reps.max(1)).map(|i| common.seed + i).collect(),
+            fails: fails.clone(),
+        },
+        sim: SimConfig {
+            // Wedged flows must fail fast so the sweep terminates.
+            watchdog_stall_cycles: 2_000,
+            tick_threads: 1,
+            ..SimConfig::default()
+        },
+        steady: SteadyOpts::default(),
+        fault: hxharness::FaultProtocol {
+            cycles,
+            drain_factor: 4,
+        },
+        overrides: Vec::new(),
     };
-    cfg.tick_threads = args.get_or("threads", cfg.tick_threads);
-    let metrics_args = MetricsArgs::parse(&args);
-    let metrics_cfg = metrics_args.config();
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
 
-    let mut work = Vec::new();
-    for a in &algos {
-        for &n in &fails {
-            for rep in 0..reps {
-                work.push((a.clone(), n, seed0 + rep));
+    let metrics_args = MetricsArgs::parse(&args);
+    let store = if args.flag("no-cache") {
+        None
+    } else {
+        match Store::open(Path::new(hxharness::DEFAULT_STORE_DIR)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("warning: cannot open result store ({e}); running uncached");
+                None
             }
         }
-    }
-    eprintln!(
-        "fault_resilience: {} runs on {} ({} terminals)",
-        work.len(),
-        hx.name(),
-        hx.num_terminals()
-    );
-
-    let results: Vec<(Row, Option<MetricsRow>)> =
-        parallel_map(work, |(algo_name, n_fail, seed)| {
-            let algo: Arc<dyn hxcore::RoutingAlgorithm> =
-                hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
-                    .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
-                    .into();
-            let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
-            if let Some(mc) = metrics_cfg {
-                sim.enable_metrics(mc);
-            }
-            // The same seed picks the same dead cables for every algorithm, so
-            // the comparison is apples-to-apples per (n_fail, seed).
-            let faults = FaultSet::random_links(&*hx, n_fail, seed);
-            let mut schedule = FaultSchedule::new();
-            for (r, p) in faults.links() {
-                schedule = schedule.kill_link_at(0, r, p);
-            }
-            sim.set_fault_schedule(schedule);
-
-            let pattern = pattern_by_name("UR", hx.clone()).expect("UR pattern");
-            let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), load, seed);
-            sim.run(&mut traffic, cycles);
-            // Stop injecting and let survivors drain (stops early if wedged).
-            sim.run(&mut IdleWorkload, 4 * cycles);
-
-            let delivered = sim.stats.total_delivered_packets;
-            let dropped = sim.stats.dropped_packets;
-            let stranded = sim.pool.live() as u64;
-            let attempted = delivered + dropped + stranded;
-            let metrics = sim.metrics().map(|m| MetricsRow {
-                label: format!("{n_fail} failed links"),
-                algo: algo_name.clone(),
-                offered: load,
-                summary: m.summary(),
-            });
-            let row = Row {
-                algo: algo_name,
-                failed_links: n_fail,
-                seed,
-                attempted_packets: attempted,
-                delivered_packets: delivered,
-                dropped_packets: dropped,
-                stranded_packets: stranded,
-                delivered_fraction: if attempted == 0 {
-                    1.0
-                } else {
-                    delivered as f64 / attempted as f64
-                },
-                mean_latency: sim.stats.mean_latency(),
-                p99_latency: sim.stats.hist.quantile(0.99),
-                mean_hops: sim.stats.mean_hops(),
-                wedged: sim.watchdog_report().is_some(),
-            };
-            (row, metrics)
-        });
-    let (rows, metric_rows): (Vec<Row>, Vec<Option<MetricsRow>>) = results.into_iter().unzip();
-    let metric_rows: Vec<MetricsRow> = metric_rows.into_iter().flatten().collect();
+    };
+    let opts = SweepOpts {
+        tick_threads: args.get_or("threads", 0),
+        metrics: metrics_args.config(),
+        progress: true,
+        ..SweepOpts::default()
+    };
+    let report = match run_sweep(
+        &spec,
+        store.as_ref(),
+        common.json.as_deref().map(Path::new),
+        &opts,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<Row> = report.rows.iter().map(|l| parse_row(l)).collect();
 
     // Summary: delivered fraction (averaged over reps) per algo x fails.
     let mut header = vec!["failed links".to_string()];
@@ -161,8 +160,9 @@ fn main() {
             for a in &algos {
                 let sel: Vec<&Row> = rows
                     .iter()
-                    .filter(|r| &r.algo == a && r.failed_links == n)
+                    .filter(|r| &r.algo == a && r.fails == n)
                     .collect();
+                assert!(!sel.is_empty(), "missing rows for {a} at {n} fails");
                 let frac = sel.iter().map(|r| r.delivered_fraction).sum::<f64>() / sel.len() as f64;
                 let wedged = sel.iter().filter(|r| r.wedged).count();
                 line.push(if wedged > 0 {
@@ -178,10 +178,19 @@ fn main() {
     println!("{}", render_table(&header, &table));
 
     if metrics_args.enabled() {
+        let points = spec.expand();
+        let metric_rows: Vec<MetricsRow> = report
+            .metrics
+            .iter()
+            .map(|(i, summary)| MetricsRow {
+                label: format!("{} failed links", points[*i].fails),
+                algo: points[*i].algo.clone(),
+                offered: points[*i].load,
+                summary: summary.clone(),
+            })
+            .collect();
         println!("\nObservability summary (per algorithm, aggregated over all runs)");
         println!("{}", render_metrics_table(&metric_rows));
         write_jsonl(metrics_args.path.as_deref(), &metric_rows);
     }
-
-    write_jsonl(args.get("json"), &rows);
 }

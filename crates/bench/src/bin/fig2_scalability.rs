@@ -6,7 +6,7 @@
 //! cargo run --release -p hxbench --bin fig2_scalability [-- --json fig2.jsonl]
 //! ```
 
-use hxbench::{render_table, write_jsonl, Args};
+use hxbench::{render_table, write_jsonl, Args, CommonArgs};
 use hxcost::scalability_sweep;
 use serde::Serialize;
 
@@ -20,6 +20,8 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
+    // Analytic sweep: the uniform switches parse but only --json applies.
+    let common = CommonArgs::parse(&args);
     let radices: Vec<usize> = (16..=128).step_by(8).collect();
     let sweep = scalability_sweep(&radices);
 
@@ -55,5 +57,5 @@ fn main() {
     println!("Figure 2: max terminals vs router radix (diameter in parens)");
     println!("{}", render_table(&header, &table));
     println!("paper check @ radix 64: HyperX-2D=10,648  HyperX-3D=78,608 (both exact)");
-    write_jsonl(args.get("json"), &rows);
+    write_jsonl(common.json.as_deref(), &rows);
 }

@@ -13,7 +13,7 @@
 //! cargo run --release -p hxbench --bin fig3_cabling [-- --json fig3.jsonl]
 //! ```
 
-use hxbench::{render_table, write_jsonl, Args};
+use hxbench::{render_table, write_jsonl, Args, CommonArgs};
 use hxcost::{
     dragonfly_cabling, dragonfly_for_nodes, hyperx_cabling, hyperx_for_nodes, CableTech, PriceModel,
 };
@@ -31,6 +31,8 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
+    // Analytic sweep: the uniform switches parse but only --json applies.
+    let common = CommonArgs::parse(&args);
     let prices = PriceModel::default();
     let techs: Vec<(String, CableTech)> = vec![
         (
@@ -95,5 +97,5 @@ fn main() {
         .collect();
     println!("Figure 3: Dragonfly cabling cost relative to HyperX (DF/HX < 1 means DF cheaper)");
     println!("{}", render_table(&header, &table));
-    write_jsonl(args.get("json"), &rows);
+    write_jsonl(common.json.as_deref(), &rows);
 }

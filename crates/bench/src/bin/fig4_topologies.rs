@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use hxapp::{Placement, StencilApp, StencilConfig, StencilGrid};
-use hxbench::{evaluation_config, parallel_map, render_table, write_jsonl, Args};
+use hxbench::{evaluation_config, parallel_map, render_table, write_jsonl, Args, CommonArgs};
 use hxcore::{DfPolicy, DragonflyRouting, FatTreeRouting, OmniWar, RoutingAlgorithm};
 use hxsim::{Sim, SimConfig};
 use hxtopo::{Dragonfly, FatTree, HyperX, Topology};
@@ -82,8 +82,8 @@ fn systems(full: bool, vcs: usize) -> Vec<System> {
 
 fn main() {
     let args = Args::parse();
-    let full = args.full_scale();
-    let seed: u64 = args.get_or("seed", 1);
+    let common = CommonArgs::parse(&args);
+    let (full, seed) = (common.full, common.seed);
     let halo_bytes: u64 = args.get_or("halo-bytes", 100_000);
     let iters: Vec<u32> = args
         .get("iters")
@@ -93,7 +93,8 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![1, if full { 16 } else { 4 }]);
-    let cfg: SimConfig = evaluation_config();
+    let mut cfg: SimConfig = evaluation_config();
+    cfg.tick_threads = common.threads;
 
     let sys = systems(full, cfg.num_vcs);
     // Same process count everywhere so the work is identical.
@@ -160,5 +161,5 @@ fn main() {
     }
     println!("Figure 4: 27-point stencil execution time per topology (lower is better)");
     println!("{}", render_table(&header, &table));
-    write_jsonl(args.get("json"), &rows);
+    write_jsonl(common.json.as_deref(), &rows);
 }

@@ -2,60 +2,94 @@
 //! six Table 3 patterns under each routing algorithm (6a-6f), plus the
 //! saturation-throughput comparison chart (6g).
 //!
+//! This binary is a thin wrapper over the `hx` experiment orchestrator
+//! (`hxharness`): it assembles the same declarative sweep spec that
+//! `experiments/fig6.toml` describes and hands it to the shared
+//! scheduler, so completed points are answered from the content-addressed
+//! store under `results/store/` and an interrupted sweep resumes where it
+//! left off. `hx sweep experiments/fig6.toml` regenerates the identical
+//! rows. Pass `--no-cache` to bypass the store entirely.
+//!
 //! ```text
 //! cargo run --release -p hxbench --bin fig6_synthetic -- \
 //!     [--pattern UR|BC|URBx|URBy|S2|DCR|all] [--algos DOR,VAL,...] \
-//!     [--step 0.1] [--max-load 1.0] [--full] [--seed 1] [--json out.jsonl] \
-//!     [--threads N]
+//!     [--step 0.1] [--max-load 1.0] [--full] [--seed 1] [--seeds N] \
+//!     [--json out.jsonl] [--threads N] [--no-cache]
 //! ```
 //!
 //! `--threads N` shards every simulation's per-cycle compute across N
 //! worker threads (deterministic: results are bit-identical for any N;
-//! also settable via `HX_TICK_THREADS`). It composes with the sweep-level
-//! parallelism, so prefer it when the run list is short (e.g. a single
-//! `--full` load point) rather than on wide sweeps that already occupy
-//! every core.
+//! also settable via `HX_TICK_THREADS`). The scheduler composes it with
+//! point-level parallelism under a core budget.
+//!
+//! `--seeds N` replicates every (pattern, algo, load) point across N
+//! consecutive seeds starting at `--seed`; tables then report mean and
+//! sample standard deviation over the replicates.
 //!
 //! Default is the reduced 256-node network with a 10% load grid; `--full`
-//! runs the paper's 4,096-node 8x8x8 (expect hours of CPU — use the
-//! parallel sweep's full-machine occupancy) and `--step 0.02` matches the
-//! paper's 2% granularity.
+//! runs the paper's 4,096-node 8x8x8 (expect hours of CPU) and
+//! `--step 0.02` matches the paper's 2% granularity.
 //!
 //! `--metrics PATH` additionally collects the cycle-level observability
 //! layer on every run (sampled every `--metrics-interval` cycles, default
 //! 2000), writes one summary JSONL row per run to PATH, and renders a
-//! per-algorithm observability table. Collection never changes results.
+//! per-algorithm observability table. Collection never changes results
+//! (but it bypasses the cache: a cache hit runs no simulation).
 
-use std::sync::Arc;
+use std::path::Path;
 
 use hxbench::{
-    evaluation_config, evaluation_hyperx, parallel_map, render_metrics_table, render_table,
-    write_jsonl, Args, MetricsArgs, MetricsRow,
+    evaluation_config, render_metrics_table, render_table, write_jsonl, Args, CommonArgs,
+    MetricsArgs, MetricsRow,
 };
-use hxcore::hyperx_algorithm;
-use hxsim::{run_steady_state, Sim, SteadyOpts};
-use hxtopo::Topology;
-use hxtraffic::{pattern_by_name, SyntheticWorkload, FIG6_PATTERNS};
-use serde::Serialize;
+use hxharness::{parse_json, run_sweep, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts};
+use hxsim::{SimConfig, SteadyOpts};
+use hxtraffic::FIG6_PATTERNS;
 
 const DEFAULT_ALGOS: &[&str] = &["DOR", "VAL", "UGAL", "Clos-AD", "DimWAR", "OmniWAR"];
 
-#[derive(Serialize, Clone)]
+/// The fields of a harness result row that the tables render.
 struct Row {
     pattern: String,
     algo: String,
     offered: f64,
     accepted: f64,
     mean_latency: f64,
-    p99_latency: f64,
-    mean_hops: f64,
     saturated: bool,
+}
+
+fn parse_row(line: &str) -> Row {
+    let v = parse_json(line).expect("harness rows are valid JSON");
+    let s = |k: &str| v.get(k).and_then(|x| x.as_str()).expect(k).to_string();
+    let f = |k: &str| v.get(k).and_then(|x| x.as_f64()).expect(k);
+    Row {
+        pattern: s("pattern"),
+        algo: s("algo"),
+        offered: f("offered"),
+        accepted: f("accepted"),
+        mean_latency: f("mean_latency"),
+        saturated: v
+            .get("saturated")
+            .and_then(|x| x.as_bool())
+            .expect("saturated"),
+    }
+}
+
+/// Mean and sample standard deviation (0 for a single replicate).
+fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let m = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1.0);
+    (m, var.sqrt())
 }
 
 fn main() {
     let args = Args::parse();
-    let full = args.full_scale();
-    let seed: u64 = args.get_or("seed", 1);
+    let common = CommonArgs::parse(&args);
+    let replicates: u64 = args.get_or("seeds", 1);
     let step: f64 = args.get_or("step", 0.10);
     let max_load: f64 = args.get_or("max-load", 1.0);
     let patterns: Vec<String> = match args.get("pattern") {
@@ -67,70 +101,96 @@ fn main() {
         .map(|s| s.split(',').map(str::to_string).collect())
         .unwrap_or_else(|| DEFAULT_ALGOS.iter().map(|s| s.to_string()).collect());
 
-    let hx = evaluation_hyperx(full);
-    let mut cfg = evaluation_config();
-    cfg.tick_threads = args.get_or("threads", cfg.tick_threads);
-    let opts = SteadyOpts::default();
-    let metrics_args = MetricsArgs::parse(&args);
-
-    // Build the work list: every (pattern, algo, load).
-    let mut work = Vec::new();
+    let mut loads = Vec::new();
     let mut load = step;
     while load <= max_load + 1e-9 {
-        for p in &patterns {
-            for a in &algos {
-                work.push((p.clone(), a.clone(), (load * 1000.0).round() / 1000.0));
-            }
-        }
+        loads.push((load * 1000.0).round() / 1000.0);
         load += step;
     }
-    eprintln!(
-        "fig6: {} runs on {} ({} terminals), {} threads",
-        work.len(),
-        hx.name(),
-        hx.num_terminals(),
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    );
+    let seeds: Vec<u64> = (0..replicates.max(1)).map(|i| common.seed + i).collect();
+    let (width, terminals) = if common.full { (8, 8) } else { (4, 4) };
+    let spec = ExperimentSpec {
+        name: if common.full { "fig6" } else { "fig6_reduced" }.to_string(),
+        kind: Kind::Steady,
+        description: "Figure 6: steady-state load/latency and saturation throughput".to_string(),
+        network: NetworkSpec {
+            dims: 3,
+            width,
+            terminals,
+        },
+        axes: hxharness::spec::Axes {
+            patterns: patterns.clone(),
+            algos: algos.clone(),
+            loads,
+            seeds,
+            fails: vec![0],
+        },
+        sim: SimConfig {
+            tick_threads: 1,
+            ..evaluation_config()
+        },
+        steady: SteadyOpts::default(),
+        fault: Default::default(),
+        overrides: Vec::new(),
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
 
-    let metrics_cfg = metrics_args.config();
-    let results: Vec<(Row, Option<MetricsRow>)> =
-        parallel_map(work, |(pattern, algo_name, load)| {
-            let algo: Arc<dyn hxcore::RoutingAlgorithm> =
-                hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
-                    .unwrap_or_else(|| panic!("unknown algorithm {algo_name}"))
-                    .into();
-            let mut sim = Sim::new(hx.clone(), algo, cfg, seed);
-            if let Some(mc) = metrics_cfg {
-                sim.enable_metrics(mc);
+    let metrics_args = MetricsArgs::parse(&args);
+    let store = if args.flag("no-cache") {
+        None
+    } else {
+        match Store::open(Path::new(hxharness::DEFAULT_STORE_DIR)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("warning: cannot open result store ({e}); running uncached");
+                None
             }
-            let pat = pattern_by_name(&pattern, hx.clone())
-                .unwrap_or_else(|| panic!("unknown pattern {pattern}"));
-            let mut traffic = SyntheticWorkload::new(pat, hx.num_terminals(), load, seed);
-            let point = run_steady_state(&mut sim, &mut traffic, load, opts);
-            let metrics = sim.metrics().map(|m| MetricsRow {
-                label: pattern.clone(),
-                algo: algo_name.clone(),
-                offered: point.offered,
-                summary: m.summary(),
-            });
-            let row = Row {
-                pattern,
-                algo: algo_name,
-                offered: point.offered,
-                accepted: point.accepted,
-                mean_latency: point.mean_latency,
-                p99_latency: point.p99_latency,
-                mean_hops: point.mean_hops,
-                saturated: point.saturated,
-            };
-            (row, metrics)
-        });
-    let (rows, metric_rows): (Vec<Row>, Vec<Option<MetricsRow>>) = results.into_iter().unzip();
-    let metric_rows: Vec<MetricsRow> = metric_rows.into_iter().flatten().collect();
+        }
+    };
+    let opts = SweepOpts {
+        tick_threads: args.get_or("threads", 0),
+        metrics: metrics_args.config(),
+        progress: true,
+        ..SweepOpts::default()
+    };
+    let report = match run_sweep(
+        &spec,
+        store.as_ref(),
+        common.json.as_deref().map(Path::new),
+        &opts,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<Row> = report.rows.iter().map(|l| parse_row(l)).collect();
 
-    // 6a-6f: one latency-vs-load table per pattern (saturated points marked).
+    // 6a-6f: one latency-vs-load table per pattern, aggregated over seed
+    // replicates (saturated points marked).
+    let multi = replicates > 1;
+    let cell = |sel: &[&Row]| -> String {
+        let saturated = sel.iter().any(|r| r.saturated);
+        if saturated {
+            let (m, sd) = mean_sd(&sel.iter().map(|r| r.accepted).collect::<Vec<_>>());
+            if multi {
+                format!("sat({m:.2}±{sd:.2})")
+            } else {
+                format!("sat({m:.2})")
+            }
+        } else {
+            let (m, sd) = mean_sd(&sel.iter().map(|r| r.mean_latency).collect::<Vec<_>>());
+            if multi {
+                format!("{m:.0}±{sd:.0}")
+            } else {
+                format!("{m:.0}")
+            }
+        }
+    };
     for pattern in &patterns {
         let mut header = vec!["load".to_string()];
         header.extend(algos.iter().cloned());
@@ -146,15 +206,12 @@ fn main() {
             .map(|&l| {
                 let mut line = vec![format!("{l:.2}")];
                 for a in &algos {
-                    let r = rows
+                    let sel: Vec<&Row> = rows
                         .iter()
-                        .find(|r| &r.pattern == pattern && &r.algo == a && r.offered == l)
-                        .expect("missing row");
-                    line.push(if r.saturated {
-                        format!("sat({:.2})", r.accepted)
-                    } else {
-                        format!("{:.0}", r.mean_latency)
-                    });
+                        .filter(|r| &r.pattern == pattern && &r.algo == a && r.offered == l)
+                        .collect();
+                    assert!(!sel.is_empty(), "missing rows for {pattern}/{a}@{l}");
+                    line.push(cell(&sel));
                 }
                 line
             })
@@ -163,7 +220,8 @@ fn main() {
         println!("{}", render_table(&header, &table));
     }
 
-    // 6g: achieved throughput = accepted at the highest offered load.
+    // 6g: achieved throughput = accepted at the highest offered load,
+    // mean (± stddev with --seeds) over replicates.
     let mut header = vec!["pattern".to_string()];
     header.extend(algos.iter().cloned());
     let table: Vec<Vec<String>> = patterns
@@ -171,12 +229,23 @@ fn main() {
         .map(|p| {
             let mut line = vec![p.clone()];
             for a in &algos {
-                let best = rows
+                let top = rows
                     .iter()
                     .filter(|r| &r.pattern == p && &r.algo == a)
-                    .max_by(|x, y| x.offered.total_cmp(&y.offered))
-                    .expect("missing row");
-                line.push(format!("{:.3}", best.accepted));
+                    .map(|r| r.offered)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let acc: Vec<f64> = rows
+                    .iter()
+                    .filter(|r| &r.pattern == p && &r.algo == a && r.offered == top)
+                    .map(|r| r.accepted)
+                    .collect();
+                assert!(!acc.is_empty(), "missing rows for {p}/{a}");
+                let (m, sd) = mean_sd(&acc);
+                line.push(if multi {
+                    format!("{m:.3}±{sd:.3}")
+                } else {
+                    format!("{m:.3}")
+                });
             }
             line
         })
@@ -185,10 +254,19 @@ fn main() {
     println!("{}", render_table(&header, &table));
 
     if metrics_args.enabled() {
+        let points = spec.expand();
+        let metric_rows: Vec<MetricsRow> = report
+            .metrics
+            .iter()
+            .map(|(i, summary)| MetricsRow {
+                label: points[*i].pattern.clone(),
+                algo: points[*i].algo.clone(),
+                offered: points[*i].load,
+                summary: summary.clone(),
+            })
+            .collect();
         println!("\nObservability summary (per algorithm, aggregated over all runs)");
         println!("{}", render_metrics_table(&metric_rows));
         write_jsonl(metrics_args.path.as_deref(), &metric_rows);
     }
-
-    write_jsonl(args.get("json"), &rows);
 }

@@ -5,14 +5,14 @@
 //! ```text
 //! cargo run --release -p hxbench --bin fig8_stencil -- \
 //!     [--phase collective|exchange|full|all] [--iters 1,16] \
-//!     [--halo-bytes 100000] [--full] [--seed 1] [--json out.jsonl]
+//!     [--halo-bytes 100000] [--full] [--seed 1] [--threads N] [--json out.jsonl]
 //! ```
 
 use std::sync::Arc;
 
 use hxapp::{PhaseMode, Placement, StencilApp, StencilConfig};
 use hxbench::{
-    evaluation_config, evaluation_hyperx, parallel_map, render_table, write_jsonl, Args,
+    evaluation_config, evaluation_hyperx, parallel_map, render_table, write_jsonl, Args, CommonArgs,
 };
 use hxcore::hyperx_algorithm;
 use hxsim::Sim;
@@ -42,8 +42,8 @@ fn phase_mode(name: &str) -> PhaseMode {
 
 fn main() {
     let args = Args::parse();
-    let full = args.full_scale();
-    let seed: u64 = args.get_or("seed", 1);
+    let common = CommonArgs::parse(&args);
+    let (full, seed) = (common.full, common.seed);
     let halo_bytes: u64 = args.get_or("halo-bytes", 100_000);
     let phases: Vec<String> = match args.get("phase") {
         Some("all") | None => vec!["collective".into(), "exchange".into(), "full".into()],
@@ -63,7 +63,8 @@ fn main() {
         .unwrap_or_else(|| DEFAULT_ALGOS.iter().map(|s| s.to_string()).collect());
 
     let hx = evaluation_hyperx(full);
-    let cfg = evaluation_config();
+    let mut cfg = evaluation_config();
+    cfg.tick_threads = common.threads;
 
     let mut work = Vec::new();
     for phase in &phases {
@@ -130,5 +131,5 @@ fn main() {
         println!("{}", render_table(&header, &table));
     }
 
-    write_jsonl(args.get("json"), &rows);
+    write_jsonl(common.json.as_deref(), &rows);
 }

@@ -12,6 +12,9 @@
 //!     [--algo OmniWAR] [--seed 1] [--full] [--json BENCH_parallel_tick.json]
 //! ```
 //!
+//! The uniform `--threads N` switch is accepted as shorthand for a
+//! single-entry `--threads-list N` (timing one thread count).
+//!
 //! The JSON records per-thread-count wall seconds and speedup vs serial,
 //! plus `host_cpus`: speedup is only meaningful when the host has at least
 //! as many cores as the largest thread count.
@@ -19,7 +22,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use hxbench::{evaluation_config, evaluation_hyperx, Args};
+use hxbench::{evaluation_config, evaluation_hyperx, Args, CommonArgs};
 use hxcore::hyperx_algorithm;
 use hxsim::Sim;
 use hxtopo::Topology;
@@ -66,8 +69,8 @@ fn fingerprint(sim: &Sim) -> Vec<u64> {
 
 fn main() {
     let args = Args::parse();
-    let full = args.full_scale();
-    let seed: u64 = args.get_or("seed", 1);
+    let common = CommonArgs::parse(&args);
+    let (full, seed) = (common.full, common.seed);
     let load: f64 = args.get_or("load", 0.7);
     let warmup: u64 = args.get_or("warmup", 2_000);
     let cycles: u64 = args.get_or("cycles", 6_000);
@@ -79,6 +82,7 @@ fn main() {
                 .map(|v| v.parse().expect("bad --threads-list"))
                 .collect()
         })
+        .or_else(|| args.get("threads").map(|_| vec![common.threads]))
         .unwrap_or_else(|| vec![1, 2, 4]);
 
     let hx = evaluation_hyperx(full);
@@ -150,7 +154,7 @@ fn main() {
         results,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
-    match args.get("json") {
+    match common.json.as_deref() {
         Some(path) => {
             std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             eprintln!("wrote {path}");

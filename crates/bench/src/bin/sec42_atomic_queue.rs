@@ -9,13 +9,14 @@
 //! throughput next to the analytic ceiling.
 //!
 //! ```text
-//! cargo run --release -p hxbench --bin sec42_atomic_queue -- [--full] [--json out.jsonl]
+//! cargo run --release -p hxbench --bin sec42_atomic_queue -- \
+//!     [--full] [--seed 1] [--threads N] [--json out.jsonl]
 //! ```
 
 use std::sync::Arc;
 
 use hxbench::{
-    evaluation_config, evaluation_hyperx, parallel_map, render_table, write_jsonl, Args,
+    evaluation_config, evaluation_hyperx, parallel_map, render_table, write_jsonl, Args, CommonArgs,
 };
 use hxcore::hyperx_algorithm;
 use hxsim::{run_steady_state, Sim, SimConfig, SteadyOpts};
@@ -33,10 +34,11 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
-    let full = args.full_scale();
-    let seed: u64 = args.get_or("seed", 1);
+    let common = CommonArgs::parse(&args);
+    let (full, seed) = (common.full, common.seed);
     let hx = evaluation_hyperx(full);
-    let base_cfg = evaluation_config();
+    let mut base_cfg = evaluation_config();
+    base_cfg.tick_threads = common.threads;
 
     // (label, min flits, max flits)
     let sizes: Vec<(&str, u16, u16)> = vec![("1", 1, 1), ("1..16", 1, 16), ("16", 16, 16)];
@@ -99,5 +101,5 @@ fn main() {
     println!("(ceiling = PktSize x NumVcs / CreditRoundTrip = paper's 8% single-flit figure)");
     println!();
     println!("{}", render_table(&header, &table));
-    write_jsonl(args.get("json"), &rows);
+    write_jsonl(common.json.as_deref(), &rows);
 }

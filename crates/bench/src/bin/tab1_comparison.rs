@@ -7,7 +7,7 @@
 //! cargo run --release -p hxbench --bin tab1_comparison
 //! ```
 
-use hxbench::{render_table, write_jsonl, Args};
+use hxbench::{render_table, write_jsonl, Args, CommonArgs};
 use hxcore::meta::table1_rows;
 use serde::Serialize;
 
@@ -24,6 +24,8 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
+    // Analytic table: the uniform switches parse but only --json applies.
+    let common = CommonArgs::parse(&args);
     let rows: Vec<Row> = table1_rows()
         .into_iter()
         .map(|m| Row {
@@ -68,5 +70,5 @@ fn main() {
     println!(" N: dimensions, M: allowed deroutes, 1e: one escape VC)");
     println!();
     println!("{}", render_table(&header, &table));
-    write_jsonl(args.get("json"), &rows);
+    write_jsonl(common.json.as_deref(), &rows);
 }

@@ -12,13 +12,17 @@
 //! | `tab1_comparison`   | Table 1 — implementation requirements |
 //! | `sec42_atomic_queue`| Section 4.2 — atomic-allocation ceiling |
 //!
-//! Each accepts `--full` to run the paper's 4,096-node configuration
-//! (default is a reduced 256-node network that preserves the qualitative
-//! shapes), `--seed N`, and `--json PATH` for machine-readable output.
-//! This library holds the shared plumbing: a dependency-free CLI parser,
-//! a crossbeam-based parallel sweep runner, and table/JSONL formatting.
+//! Each accepts the uniform switches `--full` (the paper's 4,096-node
+//! configuration; default is a reduced 256-node network that preserves
+//! the qualitative shapes), `--seed N`, `--threads N` (deterministic
+//! per-simulation tick threads), and `--json PATH` for machine-readable
+//! output — see [`args::CommonArgs`]. This library holds the shared
+//! plumbing: the CLI surface (re-exported from `hxharness`), a
+//! crossbeam-based parallel sweep runner, and table/JSONL formatting.
+//! `fig6_synthetic` and `fault_resilience` are thin wrappers over the
+//! `hx` experiment orchestrator (`hxharness`); their sweeps can also be
+//! driven from the declarative specs in `experiments/`.
 
-use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -27,82 +31,9 @@ use hxsim::SimConfig;
 use hxtopo::HyperX;
 use parking_lot::Mutex;
 
-/// Minimal `--key value` / `--flag` command-line parser.
-pub struct Args {
-    named: HashMap<String, String>,
-    flags: Vec<String>,
-}
+pub mod args;
 
-impl Args {
-    /// Parses `std::env::args()`.
-    pub fn parse() -> Self {
-        Self::from_args(std::env::args().skip(1))
-    }
-
-    /// Parses an explicit argument list (tests).
-    pub fn from_args(items: impl IntoIterator<Item = String>) -> Self {
-        let mut named = HashMap::new();
-        let mut flags = Vec::new();
-        let mut items = items.into_iter().peekable();
-        while let Some(a) = items.next() {
-            if let Some(key) = a.strip_prefix("--") {
-                match items.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        named.insert(key.to_string(), items.next().unwrap());
-                    }
-                    _ => flags.push(key.to_string()),
-                }
-            }
-        }
-        Args { named, flags }
-    }
-
-    /// Value of `--key`, if present.
-    pub fn get(&self, key: &str) -> Option<&str> {
-        self.named.get(key).map(String::as_str)
-    }
-
-    /// Whether `--flag` was passed (with no value).
-    pub fn flag(&self, key: &str) -> bool {
-        self.flags.iter().any(|f| f == key)
-    }
-
-    /// Parsed value of `--key`, or `default` when the key is absent.
-    /// Returns an error when the key is present but its value does not
-    /// parse — silently falling back to the default would make a typo like
-    /// `--seed abc` run a different experiment than requested.
-    pub fn try_get_or<T>(&self, key: &str, default: T) -> Result<T, String>
-    where
-        T: std::str::FromStr,
-        T::Err: std::fmt::Display,
-    {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| format!("invalid value {v:?} for --{key}: {e}")),
-        }
-    }
-
-    /// Parsed value of `--key`, or `default` when absent. Aborts the
-    /// process with a message on a malformed value.
-    pub fn get_or<T>(&self, key: &str, default: T) -> T
-    where
-        T: std::str::FromStr,
-        T::Err: std::fmt::Display,
-    {
-        self.try_get_or(key, default).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        })
-    }
-
-    /// Whether the paper-scale configuration was requested (`--full` or
-    /// `HX_FULL=1`).
-    pub fn full_scale(&self) -> bool {
-        self.flag("full") || std::env::var("HX_FULL").is_ok_and(|v| v == "1")
-    }
-}
+pub use args::{Args, CommonArgs, MetricsArgs};
 
 /// The evaluated HyperX network: the paper's 8x8x8 with 8 terminals per
 /// router (4,096 nodes) at full scale, a 4x4x4 with 4 terminals per router
@@ -167,39 +98,6 @@ where
         .into_iter()
         .map(|m| m.into_inner().expect("missing result"))
         .collect()
-}
-
-/// Observability options shared by the experiment binaries: `--metrics
-/// PATH` writes one JSONL summary row per run, `--metrics-interval N`
-/// sets the time-series sampling period (cycles).
-pub struct MetricsArgs {
-    /// Output path for the per-run metrics JSONL, if requested.
-    pub path: Option<String>,
-    /// Sampling interval in cycles.
-    pub interval: u64,
-}
-
-impl MetricsArgs {
-    /// Parses `--metrics` / `--metrics-interval` from `args`.
-    pub fn parse(args: &Args) -> Self {
-        MetricsArgs {
-            path: args.get("metrics").map(str::to_string),
-            interval: args.get_or("metrics-interval", 2_000),
-        }
-    }
-
-    /// Whether metric collection was requested.
-    pub fn enabled(&self) -> bool {
-        self.path.is_some()
-    }
-
-    /// The `MetricsConfig` to enable on each run's `Sim`, if requested.
-    pub fn config(&self) -> Option<hxsim::MetricsConfig> {
-        self.enabled().then(|| hxsim::MetricsConfig {
-            sample_interval: self.interval,
-            ..hxsim::MetricsConfig::default()
-        })
-    }
 }
 
 /// One per-run observability record, written as a JSONL row by the
@@ -271,13 +169,14 @@ pub fn render_metrics_table(rows: &[MetricsRow]) -> String {
     render_table(&header, &table)
 }
 
-/// Writes serializable rows as JSON lines to `path` (if given).
+/// Writes serializable rows as JSON lines to `path` (if given). Every
+/// row leads with `schema_version` (via [`hxsim::versioned_json_row`]),
+/// like all other JSONL the workspace emits under `results/`.
 pub fn write_jsonl<T: serde::Serialize>(path: Option<&str>, rows: &[T]) {
     let Some(path) = path else { return };
     let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     for row in rows {
-        serde_json::to_writer(&mut f, row).expect("serialize row");
-        writeln!(f).expect("write row");
+        writeln!(f, "{}", hxsim::versioned_json_row(row)).expect("write row");
     }
     eprintln!("wrote {} rows to {path}", rows.len());
 }
@@ -315,40 +214,6 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
 mod tests {
     use super::*;
 
-    fn args(s: &str) -> Args {
-        Args::from_args(s.split_whitespace().map(String::from))
-    }
-
-    #[test]
-    fn parses_named_and_flags() {
-        let a = args("--pattern UR --full --seed 7");
-        assert_eq!(a.get("pattern"), Some("UR"));
-        assert!(a.flag("full"));
-        assert_eq!(a.get_or("seed", 0u64), 7);
-        assert_eq!(a.get_or("missing", 42u64), 42);
-        assert!(!a.flag("json"));
-    }
-
-    #[test]
-    fn trailing_flag_parses() {
-        let a = args("--verbose");
-        assert!(a.flag("verbose"));
-    }
-
-    #[test]
-    fn malformed_value_is_an_error_not_the_default() {
-        let a = args("--seed abc --load 0.x5");
-        let seed: Result<u64, _> = a.try_get_or("seed", 0);
-        let err = seed.unwrap_err();
-        assert!(err.contains("--seed") && err.contains("abc"), "err={err}");
-        let load: Result<f64, _> = a.try_get_or("load", 0.5);
-        assert!(load.is_err());
-        // Absent keys still yield the default; valid values still parse.
-        assert_eq!(a.try_get_or("missing", 42u64), Ok(42));
-        let a2 = args("--seed 7");
-        assert_eq!(a2.try_get_or("seed", 0u64), Ok(7));
-    }
-
     #[test]
     fn parallel_map_thread_count_does_not_change_results() {
         let items: Vec<u64> = (0..64).collect();
@@ -371,6 +236,22 @@ mod tests {
         );
         assert!(t.contains(" a  bb"));
         assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn jsonl_rows_carry_schema_version() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u64,
+        }
+        let path = std::env::temp_dir().join(format!("hxbench_jsonl_{}.jsonl", std::process::id()));
+        write_jsonl(path.to_str(), &[R { x: 7 }]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            text,
+            format!("{{\"schema_version\":{},\"x\":7}}\n", hxsim::SCHEMA_VERSION)
+        );
     }
 
     #[test]

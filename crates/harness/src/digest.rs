@@ -1,0 +1,141 @@
+//! Content addressing for sweep points.
+//!
+//! Each point's identity is the FNV-1a digest of its canonicalized
+//! configuration: the measurement protocol, the network, every axis
+//! value, the resolved semantic `SimConfig` (via
+//! [`hxsim::CanonicalSimConfig`], which excludes `tick_threads` — PR 3
+//! made results bit-identical for every thread count, so threading must
+//! not affect identity), the protocol knobs, the result
+//! [`hxsim::SCHEMA_VERSION`], and the workspace crate version. The
+//! experiment *name* is deliberately excluded: two specs that describe
+//! the same point share its cached result, and renaming a spec does not
+//! invalidate a completed sweep.
+
+use hxsim::CanonicalSimConfig;
+
+use crate::spec::{Kind, Point};
+
+/// Workspace version baked into every digest; all workspace crates share
+/// `[workspace.package].version`, so bumping it invalidates the store —
+/// exactly right, since any crate may have changed simulation behavior.
+pub const WORKSPACE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+fn json_of<T: serde::Serialize>(v: &T) -> String {
+    let mut s = String::new();
+    serde::Serialize::to_json(v, &mut s);
+    s
+}
+
+/// The canonical JSON form a point's digest is computed over. Field order
+/// is fixed here; every scalar renders through the same serde encoder as
+/// the result rows, so the encoding is bit-stable across runs and
+/// platforms. (Assembled by hand because the vendored derive macro does
+/// not support borrowed fields.)
+pub fn canonical_json(p: &Point) -> String {
+    let sim: CanonicalSimConfig = p.sim.canonical();
+    // Fault knobs only shape fault-kind runs; zero them for steady
+    // points so tuning [fault] never invalidates steady results.
+    let (fault_cycles, drain_factor) = if p.kind == Kind::Fault {
+        (p.fault.cycles, p.fault.drain_factor)
+    } else {
+        (0, 0)
+    };
+    format!(
+        concat!(
+            "{{\"schema_version\":{},\"workspace_version\":{},\"kind\":{},",
+            "\"dims\":{},\"width\":{},\"terminals\":{},",
+            "\"pattern\":{},\"algo\":{},\"load\":{},\"seed\":{},\"fails\":{},",
+            "\"sim\":{},\"warmup_window\":{},\"max_warmup_windows\":{},",
+            "\"measure_cycles\":{},\"stability_tol\":{},",
+            "\"fault_cycles\":{},\"drain_factor\":{}}}"
+        ),
+        hxsim::SCHEMA_VERSION,
+        json_of(&WORKSPACE_VERSION.to_string()),
+        json_of(&p.kind.as_str().to_string()),
+        p.network.dims,
+        p.network.width,
+        p.network.terminals,
+        json_of(&p.pattern),
+        json_of(&p.algo),
+        json_of(&p.load),
+        p.seed,
+        p.fails,
+        json_of(&sim),
+        p.steady.warmup_window,
+        p.steady.max_warmup_windows,
+        p.steady.measure_cycles,
+        json_of(&p.steady.stability_tol),
+        fault_cycles,
+        drain_factor,
+    )
+}
+
+/// The point's content digest (hex form is the store key).
+pub fn point_digest(p: &Point) -> u64 {
+    hxsim::fnv1a(canonical_json(p).as_bytes())
+}
+
+/// Store-key rendering of a digest (16 hex digits).
+pub fn digest_hex(d: u64) -> String {
+    format!("{d:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+    use crate::value::parse_toml;
+
+    fn points(toml: &str) -> Vec<Point> {
+        ExperimentSpec::from_value(&parse_toml(toml).unwrap())
+            .unwrap()
+            .expand()
+    }
+
+    const BASE: &str = r#"
+[experiment]
+name = "t"
+[network]
+dims = 2
+width = 2
+terminals = 1
+[axes]
+pattern = ["UR"]
+algo = ["DOR"]
+load = [0.1]
+seed = [1]
+"#;
+
+    #[test]
+    fn digest_is_stable_and_axis_sensitive() {
+        let d0 = point_digest(&points(BASE)[0]);
+        assert_eq!(d0, point_digest(&points(BASE)[0]), "same spec, same digest");
+        let seed2 = point_digest(&points(&BASE.replace("seed = [1]", "seed = [2]"))[0]);
+        assert_ne!(d0, seed2, "seed is part of identity");
+        let load2 = point_digest(&points(&BASE.replace("load = [0.1]", "load = [0.2]"))[0]);
+        assert_ne!(d0, load2, "load is part of identity");
+        let vcs = point_digest(&points(&format!("{BASE}[sim]\nnum_vcs = 4\n"))[0]);
+        assert_ne!(d0, vcs, "sim config is part of identity");
+    }
+
+    #[test]
+    fn name_and_tick_threads_do_not_affect_digest() {
+        let d0 = point_digest(&points(BASE)[0]);
+        let renamed = point_digest(&points(&BASE.replace("name = \"t\"", "name = \"u\""))[0]);
+        assert_eq!(d0, renamed, "experiment name must not affect identity");
+        let mut p = points(BASE)[0].clone();
+        p.sim.tick_threads = 8;
+        assert_eq!(
+            d0,
+            point_digest(&p),
+            "tick_threads must not affect identity"
+        );
+    }
+
+    #[test]
+    fn steady_points_ignore_fault_knobs() {
+        let d0 = point_digest(&points(BASE)[0]);
+        let tuned = point_digest(&points(&format!("{BASE}[fault]\ncycles = 123\n"))[0]);
+        assert_eq!(d0, tuned);
+    }
+}

@@ -1,0 +1,327 @@
+//! `hx` — experiment orchestrator CLI.
+//!
+//! ```text
+//! hx sweep SPEC [--resume] [--force] [--workers N] [--threads N]
+//!               [--budget N] [--out PATH] [--store DIR] [--no-cache]
+//!               [--expect-cached] [--quiet]
+//! hx expand SPEC [--store DIR]
+//! hx status [SPEC ...] [--store DIR]
+//! hx gc (--all | SPEC ...) [--dry-run] [--store DIR]
+//! ```
+//!
+//! * `sweep` runs every point of a spec. Points whose digest already sits
+//!   in the store are answered from cache, so sweeps are incremental by
+//!   construction; `--resume` states that intent explicitly (for scripts
+//!   re-launching after a kill — behavior is identical), `--force`
+//!   recomputes everything. Merged JSONL rows stream to
+//!   `results/<name>.jsonl` (or `--out`) in deterministic spec order.
+//!   `--expect-cached` exits non-zero if any point had to execute — CI
+//!   uses it to pin the cache-hit path.
+//! * `expand` lists the point table with digests and cache state.
+//! * `status` summarizes the store, and per spec reports cached/missing.
+//! * `gc` prunes entries not reachable from the given specs.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hxharness::{
+    digest_hex, point_digest, run_sweep, spec_digests, ExperimentSpec, Store, SweepOpts,
+    DEFAULT_STORE_DIR,
+};
+
+const USAGE: &str = "usage:
+  hx sweep SPEC [--resume] [--force] [--workers N] [--threads N] [--budget N]
+                [--out PATH] [--store DIR] [--no-cache] [--expect-cached] [--quiet]
+  hx expand SPEC [--store DIR]
+  hx status [SPEC ...] [--store DIR]
+  hx gc (--all | SPEC ...) [--dry-run] [--store DIR]";
+
+/// Hand-rolled argv walker: `hx` has subcommands and positional spec
+/// paths, and its boolean flags must not swallow a following path the way
+/// a generic `--key value` grammar would (`--resume spec.toml`).
+struct Cli {
+    positional: Vec<String>,
+    named: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+const VALUE_FLAGS: &[&str] = &["workers", "threads", "budget", "out", "store"];
+const BOOL_FLAGS: &[&str] = &[
+    "resume",
+    "force",
+    "no-cache",
+    "expect-cached",
+    "quiet",
+    "dry-run",
+    "all",
+    "help",
+];
+
+impl Cli {
+    fn parse(items: impl Iterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli {
+            positional: Vec::new(),
+            named: Vec::new(),
+            flags: Vec::new(),
+        };
+        let mut items = items.peekable();
+        while let Some(a) = items.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if VALUE_FLAGS.contains(&key) {
+                    let v = items.next().ok_or(format!("--{key} needs a value"))?;
+                    cli.named.push((key.to_string(), v));
+                } else if BOOL_FLAGS.contains(&key) {
+                    cli.flags.push(key.to_string());
+                } else {
+                    return Err(format!("unknown option --{key}"));
+                }
+            } else {
+                cli.positional.push(a);
+            }
+        }
+        Ok(cli)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.named
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid value {v:?} for --{key}: {e}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn store(&self) -> PathBuf {
+        PathBuf::from(self.get("store").unwrap_or(DEFAULT_STORE_DIR))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let cli = Cli::parse(argv)?;
+    if cli.flag("help") || cmd == "help" || cmd == "--help" {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    match cmd.as_str() {
+        "sweep" => cmd_sweep(&cli),
+        "expand" => cmd_expand(&cli),
+        "status" => cmd_status(&cli),
+        "gc" => cmd_gc(&cli),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn one_spec(cli: &Cli) -> Result<ExperimentSpec, String> {
+    match cli.positional.as_slice() {
+        [path] => ExperimentSpec::load(path),
+        _ => Err(format!("expected exactly one SPEC path\n{USAGE}")),
+    }
+}
+
+fn cmd_sweep(cli: &Cli) -> Result<ExitCode, String> {
+    let spec = one_spec(cli)?;
+    let use_cache = !cli.flag("no-cache");
+    let store;
+    let store_ref = if use_cache {
+        store = Store::open(&cli.store()).map_err(|e| format!("open store: {e}"))?;
+        Some(&store)
+    } else {
+        None
+    };
+    let out = cli
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("results/{}.jsonl", spec.name)));
+    let opts = SweepOpts {
+        workers: cli.get_parsed("workers", 0usize)?,
+        tick_threads: cli.get_parsed("threads", 0usize)?,
+        budget: cli.get_parsed("budget", 0usize)?,
+        force: cli.flag("force"),
+        stop_after: None,
+        metrics: None,
+        progress: !cli.flag("quiet"),
+    };
+    let report = run_sweep(&spec, store_ref, Some(&out), &opts)?;
+    println!(
+        "sweep {}: {} points, {} cached, {} executed -> {}",
+        spec.name,
+        report.total,
+        report.cached,
+        report.executed,
+        out.display()
+    );
+    if cli.flag("expect-cached") && report.executed > 0 {
+        eprintln!(
+            "--expect-cached: {} point(s) were not served from the store",
+            report.executed
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_expand(cli: &Cli) -> Result<ExitCode, String> {
+    let spec = one_spec(cli)?;
+    let store = Store::open(&cli.store()).map_err(|e| format!("open store: {e}"))?;
+    println!(
+        "{} ({}): {} on HyperX dims={} width={} terminals={}",
+        spec.name,
+        spec.kind.as_str(),
+        spec.description,
+        spec.network.dims,
+        spec.network.width,
+        spec.network.terminals
+    );
+    println!(
+        "{:<18} {:>6} {:<8} {:<8} {:>7} {:>6} {:>5}  state",
+        "digest", "#", "pattern", "algo", "load", "seed", "fails"
+    );
+    let points = spec.expand();
+    let mut cached = 0;
+    for (i, p) in points.iter().enumerate() {
+        let d = point_digest(p);
+        let hit = store.lookup(d).is_some();
+        cached += hit as usize;
+        println!(
+            "{:<18} {:>6} {:<8} {:<8} {:>7.3} {:>6} {:>5}  {}",
+            digest_hex(d),
+            i,
+            p.pattern,
+            p.algo,
+            p.load,
+            p.seed,
+            p.fails,
+            if hit { "cached" } else { "pending" }
+        );
+    }
+    println!("{} points, {} cached", points.len(), cached);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_status(cli: &Cli) -> Result<ExitCode, String> {
+    let dir = cli.store();
+    if !dir.exists() {
+        println!("store {}: empty (not created yet)", dir.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let store = Store::open(&dir).map_err(|e| format!("open store: {e}"))?;
+    let entries = store.scan().map_err(|e| format!("scan store: {e}"))?;
+    let total_bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+    println!(
+        "store {}: {} entries, {} KiB",
+        dir.display(),
+        entries.len(),
+        total_bytes / 1024
+    );
+    let mut by_exp: Vec<(String, usize)> = Vec::new();
+    for e in &entries {
+        let name = if e.experiment.is_empty() {
+            "<unreadable>".to_string()
+        } else {
+            e.experiment.clone()
+        };
+        match by_exp.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => by_exp.push((name, 1)),
+        }
+    }
+    by_exp.sort();
+    for (name, count) in &by_exp {
+        println!("  {count:>6}  {name}");
+    }
+    for path in &cli.positional {
+        let spec = ExperimentSpec::load(path)?;
+        let digests = spec_digests(&spec);
+        let have = digests
+            .iter()
+            .filter(|d| store.lookup(**d).is_some())
+            .count();
+        println!(
+            "  {path} ({}): {have}/{} points cached",
+            spec.name,
+            digests.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gc(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.positional.is_empty() && !cli.flag("all") {
+        return Err(format!(
+            "gc needs spec paths to keep, or --all to clear everything\n{USAGE}"
+        ));
+    }
+    let store = Store::open(&cli.store()).map_err(|e| format!("open store: {e}"))?;
+    let mut keep: HashSet<u64> = HashSet::new();
+    for path in &cli.positional {
+        keep.extend(spec_digests(&ExperimentSpec::load(path)?));
+    }
+    let dry = cli.flag("dry-run");
+    let (kept, removed, removed_bytes) =
+        store.gc(&keep, dry).map_err(|e| format!("gc store: {e}"))?;
+    println!(
+        "gc {}: kept {kept}, {} {removed} entries ({} KiB)",
+        store.dir().display(),
+        if dry { "would remove" } else { "removed" },
+        removed_bytes / 1024
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(s: &str) -> Cli {
+        Cli::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn bool_flags_do_not_swallow_paths() {
+        let c = cli("--resume spec.toml --threads 4");
+        assert_eq!(c.positional, vec!["spec.toml"]);
+        assert!(c.flag("resume"));
+        assert_eq!(c.get_parsed("threads", 0usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(Cli::parse(["--bogus".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn value_flags_require_values() {
+        assert!(Cli::parse(["--workers".to_string()].into_iter()).is_err());
+    }
+}

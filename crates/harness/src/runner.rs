@@ -1,0 +1,155 @@
+//! Executes one sweep point and renders its result row.
+//!
+//! The row deliberately contains nothing run-dependent beyond the
+//! simulation's deterministic outcome — no wall-clock, no thread count,
+//! no experiment name — so the same point always produces the same bytes
+//! and the store can splice cached rows into fresh output verbatim.
+
+use std::sync::Arc;
+
+use hxsim::{run_steady_state, FaultSchedule, IdleWorkload, MetricsConfig, MetricsSummary, Sim};
+use hxtopo::{FaultSet, Topology};
+use hxtraffic::SyntheticWorkload;
+
+use crate::digest::{digest_hex, point_digest};
+use crate::spec::{Kind, Point};
+
+/// One sweep point's merged-output row. Serialized through
+/// [`hxsim::versioned_json_row`], so the on-disk form leads with
+/// `schema_version`.
+#[derive(serde::Serialize, Clone, Debug)]
+pub struct PointRow {
+    pub digest: String,
+    pub kind: &'static str,
+    pub dims: usize,
+    pub width: usize,
+    pub terminals: usize,
+    pub pattern: String,
+    pub algo: String,
+    pub seed: u64,
+    pub fails: usize,
+    pub offered: f64,
+    pub accepted: f64,
+    pub mean_latency: f64,
+    pub mean_net_latency: f64,
+    pub p50_latency: f64,
+    pub p99_latency: f64,
+    pub mean_hops: f64,
+    pub saturated: bool,
+    pub attempted_packets: u64,
+    pub delivered_packets: u64,
+    pub dropped_packets: u64,
+    pub stranded_packets: u64,
+    pub delivered_fraction: f64,
+    pub wedged: bool,
+}
+
+/// Runs `point` to completion and returns its serialized row (plus the
+/// metrics summary when collection was requested — collection never
+/// changes simulation results, see the observability suite).
+pub fn execute_point(
+    point: &Point,
+    tick_threads: usize,
+    metrics: Option<MetricsConfig>,
+) -> (String, Option<MetricsSummary>) {
+    let hx = Arc::new(point.network.build());
+    let mut cfg = point.sim;
+    cfg.tick_threads = tick_threads.max(1);
+    let algo: Arc<dyn hxcore::RoutingAlgorithm> =
+        hxcore::hyperx_algorithm(&point.algo, hx.clone(), cfg.num_vcs)
+            .unwrap_or_else(|| panic!("unknown algorithm {} (spec was validated)", point.algo))
+            .into();
+    let mut sim = Sim::new(hx.clone(), algo, cfg, point.seed);
+    if let Some(mc) = metrics {
+        sim.enable_metrics(mc);
+    }
+    let pattern = hxtraffic::pattern_by_name(&point.pattern, hx.clone())
+        .unwrap_or_else(|| panic!("unknown pattern {} (spec was validated)", point.pattern));
+    let mut traffic = SyntheticWorkload::new(pattern, hx.num_terminals(), point.load, point.seed);
+
+    let steady = match point.kind {
+        Kind::Steady => Some(run_steady_state(
+            &mut sim,
+            &mut traffic,
+            point.load,
+            point.steady,
+        )),
+        Kind::Fault => {
+            // The same seed picks the same dead cables for every
+            // algorithm, keeping comparisons apples-to-apples.
+            let faults = FaultSet::random_links(&*hx, point.fails, point.seed);
+            let mut schedule = FaultSchedule::new();
+            for (r, p) in faults.links() {
+                schedule = schedule.kill_link_at(0, r, p);
+            }
+            sim.set_fault_schedule(schedule);
+            sim.run(&mut traffic, point.fault.cycles);
+            // Stop injecting and let survivors drain (ends early if wedged).
+            sim.run(
+                &mut IdleWorkload,
+                point.fault.drain_factor * point.fault.cycles,
+            );
+            None
+        }
+    };
+
+    let delivered = sim.stats.total_delivered_packets;
+    let dropped = sim.stats.dropped_packets;
+    let stranded = sim.pool.live() as u64;
+    let attempted = delivered + dropped + stranded;
+    let terminals = hx.num_terminals();
+    let row = PointRow {
+        digest: digest_hex(point_digest(point)),
+        kind: point.kind.as_str(),
+        dims: point.network.dims,
+        width: point.network.width,
+        terminals: point.network.terminals,
+        pattern: point.pattern.clone(),
+        algo: point.algo.clone(),
+        seed: point.seed,
+        fails: point.fails,
+        offered: point.load,
+        accepted: match &steady {
+            Some(p) => p.accepted,
+            // Fault runs have no warm-up protocol; report delivered flits
+            // per terminal-cycle over the injection window.
+            None => {
+                sim.stats.total_delivered_flits as f64
+                    / (point.fault.cycles * terminals as u64) as f64
+            }
+        },
+        mean_latency: match &steady {
+            Some(p) => p.mean_latency,
+            None => sim.stats.mean_latency(),
+        },
+        mean_net_latency: match &steady {
+            Some(p) => p.mean_net_latency,
+            None => sim.stats.mean_net_latency(),
+        },
+        p50_latency: match &steady {
+            Some(p) => p.p50_latency,
+            None => sim.stats.hist.quantile(0.5),
+        },
+        p99_latency: match &steady {
+            Some(p) => p.p99_latency,
+            None => sim.stats.hist.quantile(0.99),
+        },
+        mean_hops: match &steady {
+            Some(p) => p.mean_hops,
+            None => sim.stats.mean_hops(),
+        },
+        saturated: steady.as_ref().is_some_and(|p| p.saturated),
+        attempted_packets: attempted,
+        delivered_packets: delivered,
+        dropped_packets: dropped,
+        stranded_packets: stranded,
+        delivered_fraction: if attempted == 0 {
+            1.0
+        } else {
+            delivered as f64 / attempted as f64
+        },
+        wedged: sim.watchdog_report().is_some(),
+    };
+    let summary = sim.metrics().map(|m| m.summary());
+    (hxsim::versioned_json_row(&row), summary)
+}

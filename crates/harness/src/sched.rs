@@ -1,0 +1,292 @@
+//! Point-level sweep scheduler.
+//!
+//! Independent sweep points run across a worker pool (coarse-grained
+//! parallelism, composed with per-point `tick_threads` under a
+//! points×threads core budget). Completed points are announced on stderr
+//! in completion order, but the merged JSONL output is *streamed in
+//! deterministic spec order*: a row is committed as soon as every earlier
+//! point has finished (an in-order commit frontier), so the output file
+//! is always a prefix of the final result — regardless of which worker
+//! finished first, and byte-identical for every worker/thread count.
+
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use hxsim::{MetricsConfig, MetricsSummary};
+use parking_lot::Mutex;
+
+use crate::digest::{digest_hex, point_digest};
+use crate::runner::execute_point;
+use crate::spec::ExperimentSpec;
+use crate::store::{Store, StoreMeta};
+
+/// Execution options for [`run_sweep`].
+#[derive(Clone, Debug, Default)]
+pub struct SweepOpts {
+    /// Worker threads executing points concurrently. 0 = derive from the
+    /// budget.
+    pub workers: usize,
+    /// `tick_threads` per point (intra-simulation parallelism). 0 = the
+    /// `HX_TICK_THREADS` default.
+    pub tick_threads: usize,
+    /// Core budget: workers × tick_threads is kept at or under this.
+    /// 0 = all cores.
+    pub budget: usize,
+    /// Recompute every point, ignoring cached results (fresh entries are
+    /// still written back).
+    pub force: bool,
+    /// Execute at most this many uncached points, then stop committing —
+    /// deliberately equivalent to killing the sweep mid-run. Drives the
+    /// interruption/resume tests.
+    pub stop_after: Option<usize>,
+    /// Collect the cycle-level metrics layer on every executed point.
+    /// Implies `force`: a cache hit runs no simulation, so it cannot
+    /// produce a metrics stream.
+    pub metrics: Option<MetricsConfig>,
+    /// Emit progress lines on stderr.
+    pub progress: bool,
+}
+
+/// Outcome of a sweep.
+pub struct SweepReport {
+    /// Total points in the spec.
+    pub total: usize,
+    /// Points answered from the store.
+    pub cached: usize,
+    /// Points actually simulated.
+    pub executed: usize,
+    /// Result rows in spec order (serialized JSON, no trailing newline).
+    /// Shorter than `total` only when `stop_after` interrupted the run.
+    pub rows: Vec<String>,
+    /// Per-point metrics summaries (point index, summary), when requested.
+    pub metrics: Vec<(usize, MetricsSummary)>,
+    /// Whether every point completed.
+    pub complete: bool,
+}
+
+/// Runs every point of `spec`: cached points are answered from `store`,
+/// the rest execute on the worker pool. Completed rows stream to `out`
+/// (truncated first) in spec order. Returns the report with all committed
+/// rows, also in spec order.
+pub fn run_sweep(
+    spec: &ExperimentSpec,
+    store: Option<&Store>,
+    out: Option<&Path>,
+    opts: &SweepOpts,
+) -> Result<SweepReport, String> {
+    let points = spec.expand();
+    let digests: Vec<u64> = points.iter().map(point_digest).collect();
+    let force = opts.force || opts.metrics.is_some();
+
+    // Resolve the parallelism triple: budget >= workers * tick_threads.
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let budget = if opts.budget == 0 { cores } else { opts.budget };
+    let tick_threads = if opts.tick_threads == 0 {
+        hxsim::SimConfig::default().tick_threads
+    } else {
+        opts.tick_threads
+    }
+    .max(1);
+    let workers = if opts.workers == 0 {
+        (budget / tick_threads).max(1)
+    } else {
+        opts.workers.min((budget / tick_threads).max(1))
+    }
+    .min(points.len().max(1));
+
+    // Phase 1: answer what we can from the store.
+    let mut slots: Vec<Option<String>> = vec![None; points.len()];
+    let mut cached = 0;
+    if let (Some(store), false) = (store, force) {
+        for (i, &d) in digests.iter().enumerate() {
+            if let Some(row) = store.lookup(d) {
+                slots[i] = Some(row);
+                cached += 1;
+            }
+        }
+    }
+    let todo: Vec<usize> = (0..points.len()).filter(|&i| slots[i].is_none()).collect();
+    if opts.progress {
+        eprintln!(
+            "sweep {}: {} points ({} cached, {} to run) on {} worker(s) x {} tick-thread(s)",
+            spec.name,
+            points.len(),
+            cached,
+            todo.len(),
+            workers,
+            tick_threads
+        );
+    }
+
+    // Phase 2: execute the remainder, committing rows in spec order.
+    let mut committed = Committer::new(out, slots)?;
+    committed.drain()?;
+    let state = Mutex::new(committed);
+    let next = AtomicUsize::new(0);
+    let started = AtomicUsize::new(0);
+    let metrics_acc: Mutex<Vec<(usize, MetricsSummary)>> = Mutex::new(Vec::new());
+    let executed = AtomicUsize::new(0);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                if let Some(cap) = opts.stop_after {
+                    if started.fetch_add(1, Ordering::SeqCst) >= cap {
+                        break;
+                    }
+                } else {
+                    started.fetch_add(1, Ordering::Relaxed);
+                }
+                let slot = next.fetch_add(1, Ordering::SeqCst);
+                if slot >= todo.len() {
+                    break;
+                }
+                let i = todo[slot];
+                let point = &points[i];
+                let t0 = Instant::now();
+                let (row, summary) = execute_point(point, tick_threads, opts.metrics);
+                let elapsed_ms = t0.elapsed().as_millis() as u64;
+                executed.fetch_add(1, Ordering::Relaxed);
+                if let Some(sum) = summary {
+                    metrics_acc.lock().push((i, sum));
+                }
+                if let Some(store) = store {
+                    let meta = StoreMeta {
+                        kind: "store_meta",
+                        digest: digest_hex(digests[i]),
+                        experiment: spec.name.clone(),
+                        pattern: point.pattern.clone(),
+                        algo: point.algo.clone(),
+                        load: point.load,
+                        seed: point.seed,
+                        fails: point.fails as u64,
+                        elapsed_ms,
+                    };
+                    if let Err(e) = store.insert(digests[i], &meta, &row) {
+                        *failure.lock() = Some(format!("store write failed: {e}"));
+                        break;
+                    }
+                }
+                let mut st = state.lock();
+                st.fill(i, row);
+                if opts.progress {
+                    eprintln!(
+                        "  [{}/{}] {}/{} load {:.3} seed {} fails {} ({} ms)",
+                        executed.load(Ordering::Relaxed),
+                        todo.len(),
+                        point.pattern,
+                        point.algo,
+                        point.load,
+                        point.seed,
+                        point.fails,
+                        elapsed_ms
+                    );
+                }
+                if let Err(e) = st.drain() {
+                    *failure.lock() = Some(e);
+                    break;
+                }
+            });
+        }
+    })
+    .map_err(|_| "sweep worker panicked".to_string())?;
+
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+    let committer = state.into_inner();
+    let executed = executed.into_inner();
+    let rows: Vec<String> = committer
+        .slots
+        .into_iter()
+        .take(committer.frontier)
+        .map(|s| s.expect("committed slots are filled"))
+        .collect();
+    let complete = rows.len() == points.len();
+    let mut metrics = metrics_acc.into_inner();
+    metrics.sort_by_key(|(i, _)| *i);
+    if opts.progress {
+        eprintln!(
+            "sweep {}: {} points, {} cached, {} executed{}",
+            spec.name,
+            points.len(),
+            cached,
+            executed,
+            if complete { "" } else { " (interrupted)" },
+        );
+    }
+    Ok(SweepReport {
+        total: points.len(),
+        cached,
+        executed,
+        rows,
+        metrics,
+        complete,
+    })
+}
+
+/// All digests a spec's points reach (for `hx gc` / `hx status`).
+pub fn spec_digests(spec: &ExperimentSpec) -> HashSet<u64> {
+    spec.expand().iter().map(point_digest).collect()
+}
+
+/// In-order row committer: buffers out-of-order completions, streams the
+/// contiguous prefix to the output file.
+struct Committer {
+    slots: Vec<Option<String>>,
+    frontier: usize,
+    out: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl Committer {
+    fn new(path: Option<&Path>, slots: Vec<Option<String>>) -> Result<Self, String> {
+        let out = match path {
+            None => None,
+            Some(p) => {
+                if let Some(parent) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+                }
+                Some(std::io::BufWriter::new(std::fs::File::create(p).map_err(
+                    |e| format!("cannot create {}: {e}", p.display()),
+                )?))
+            }
+        };
+        Ok(Committer {
+            slots,
+            frontier: 0,
+            out,
+        })
+    }
+
+    fn fill(&mut self, i: usize, row: String) {
+        debug_assert!(self.slots[i].is_none(), "point {i} completed twice");
+        self.slots[i] = Some(row);
+    }
+
+    /// Advances the frontier over every contiguous completed row,
+    /// streaming them to the output file.
+    fn drain(&mut self) -> Result<(), String> {
+        let before = self.frontier;
+        while self.frontier < self.slots.len() && self.slots[self.frontier].is_some() {
+            if let Some(out) = &mut self.out {
+                let row = self.slots[self.frontier].as_ref().expect("checked");
+                writeln!(out, "{row}").map_err(|e| format!("write merged output: {e}"))?;
+            }
+            self.frontier += 1;
+        }
+        if self.frontier > before {
+            if let Some(out) = &mut self.out {
+                out.flush()
+                    .map_err(|e| format!("flush merged output: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}

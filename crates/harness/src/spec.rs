@@ -1,0 +1,706 @@
+//! Declarative experiment specs.
+//!
+//! A spec (TOML or JSON, by file extension) names an experiment, the
+//! network it runs on, the axes to sweep (traffic pattern, routing
+//! algorithm, offered load, seed, fault count), protocol knobs, and
+//! optional per-axis-value overrides of simulator parameters:
+//!
+//! ```toml
+//! [experiment]
+//! name = "fig6_reduced"
+//! kind = "steady"            # or "fault"
+//!
+//! [network]
+//! dims = 3
+//! width = 4
+//! terminals = 4
+//!
+//! [axes]
+//! pattern = ["UR"]
+//! algo = ["DOR", "DimWAR", "OmniWAR"]
+//! load = { start = 0.2, stop = 0.6, step = 0.2 }   # or [0.2, 0.4, 0.6]
+//! seed = [1]
+//!
+//! [sim]                      # optional SimConfig overrides
+//! num_vcs = 8
+//!
+//! [[override]]               # optional per-point patches
+//! when = { pattern = "DCR" }
+//! [override.sim]
+//! watchdog_stall_cycles = 20000
+//! ```
+//!
+//! [`ExperimentSpec::expand`] produces the cartesian product of the axes
+//! in a fixed canonical order (pattern, algo, load, fails; seed
+//! innermost), each point carrying its fully resolved configuration —
+//! the unit the scheduler executes and the store hashes.
+
+use std::collections::BTreeMap;
+
+use hxsim::{SimConfig, SteadyOpts};
+use hxtopo::HyperX;
+
+use crate::value::{parse_json, parse_toml, Value};
+
+/// Which measurement protocol a spec's points run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Warm-up-until-stable then measure (`run_steady_state`), as in the
+    /// paper's Section 6 load/latency sweeps.
+    Steady,
+    /// Kill `fails` random links at cycle 0, inject for a fixed window,
+    /// drain, and account delivered/dropped/stranded packets.
+    Fault,
+}
+
+impl Kind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Kind::Steady => "steady",
+            Kind::Fault => "fault",
+        }
+    }
+}
+
+/// The simulated HyperX network.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct NetworkSpec {
+    pub dims: usize,
+    pub width: usize,
+    pub terminals: usize,
+}
+
+impl NetworkSpec {
+    pub fn build(&self) -> HyperX {
+        HyperX::uniform(self.dims, self.width, self.terminals)
+    }
+}
+
+/// Fault-protocol knobs (`kind = "fault"` only).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultProtocol {
+    /// Injection window in cycles.
+    pub cycles: u64,
+    /// Drain window as a multiple of `cycles`.
+    pub drain_factor: u64,
+}
+
+impl Default for FaultProtocol {
+    fn default() -> Self {
+        FaultProtocol {
+            cycles: 10_000,
+            drain_factor: 4,
+        }
+    }
+}
+
+/// The swept axes. Every combination (cartesian product) is one point.
+#[derive(Clone, Debug)]
+pub struct Axes {
+    pub patterns: Vec<String>,
+    pub algos: Vec<String>,
+    pub loads: Vec<f64>,
+    pub seeds: Vec<u64>,
+    pub fails: Vec<usize>,
+}
+
+/// A conditional patch: when every `when` entry matches a point's axis
+/// values, the `sim` table is applied on top of the spec-level config.
+#[derive(Clone, Debug)]
+pub struct Override {
+    pub when: BTreeMap<String, Value>,
+    pub sim: BTreeMap<String, Value>,
+}
+
+/// A fully parsed, validated experiment description.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    pub name: String,
+    pub kind: Kind,
+    pub description: String,
+    pub network: NetworkSpec,
+    pub axes: Axes,
+    pub sim: SimConfig,
+    pub steady: SteadyOpts,
+    pub fault: FaultProtocol,
+    pub overrides: Vec<Override>,
+}
+
+/// One expanded sweep point: everything needed to execute it in
+/// isolation. `sim.tick_threads` is a placeholder here — the scheduler
+/// decides threading, and the content digest deliberately excludes it.
+#[derive(Clone, Debug)]
+pub struct Point {
+    pub kind: Kind,
+    pub network: NetworkSpec,
+    pub pattern: String,
+    pub algo: String,
+    pub load: f64,
+    pub seed: u64,
+    pub fails: usize,
+    pub sim: SimConfig,
+    pub steady: SteadyOpts,
+    pub fault: FaultProtocol,
+}
+
+impl ExperimentSpec {
+    /// Loads a spec from a `.toml` or `.json` file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let value = if path.ends_with(".json") {
+            parse_json(&text).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            parse_toml(&text).map_err(|e| format!("{path}: {e}"))?
+        };
+        Self::from_value(&value).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Builds a spec from a parsed TOML/JSON document.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let root = v.as_table().ok_or("spec root must be a table")?;
+        check_keys(
+            root,
+            &[
+                "schema_version",
+                "experiment",
+                "network",
+                "axes",
+                "sim",
+                "steady",
+                "fault",
+                "override",
+            ],
+            "top level",
+        )?;
+        if let Some(sv) = root.get("schema_version") {
+            let sv = sv.as_i64().ok_or("schema_version must be an integer")?;
+            if sv != hxsim::SCHEMA_VERSION as i64 {
+                return Err(format!(
+                    "spec schema_version {sv} != supported {}",
+                    hxsim::SCHEMA_VERSION
+                ));
+            }
+        }
+
+        let exp = v
+            .get("experiment")
+            .and_then(Value::as_table)
+            .ok_or("missing [experiment] table")?;
+        check_keys(exp, &["name", "kind", "description"], "[experiment]")?;
+        let name = exp
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("experiment.name must be a string")?
+            .to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!(
+                "experiment.name {name:?} must be non-empty [A-Za-z0-9_-] (it names output files)"
+            ));
+        }
+        let kind = match exp.get("kind").and_then(Value::as_str) {
+            Some("steady") | None => Kind::Steady,
+            Some("fault") => Kind::Fault,
+            Some(other) => return Err(format!("unknown experiment.kind {other:?}")),
+        };
+        let description = exp
+            .get("description")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+
+        let net = v
+            .get("network")
+            .and_then(Value::as_table)
+            .ok_or("missing [network] table")?;
+        check_keys(net, &["dims", "width", "terminals"], "[network]")?;
+        let network = NetworkSpec {
+            dims: usize_field(net, "dims", "[network]")?,
+            width: usize_field(net, "width", "[network]")?,
+            terminals: usize_field(net, "terminals", "[network]")?,
+        };
+        if network.dims == 0 || network.width < 2 || network.terminals == 0 {
+            return Err(format!(
+                "[network] needs dims >= 1, width >= 2, terminals >= 1 (got {network:?})"
+            ));
+        }
+
+        let axes_t = v
+            .get("axes")
+            .and_then(Value::as_table)
+            .ok_or("missing [axes] table")?;
+        check_keys(
+            axes_t,
+            &["pattern", "algo", "load", "seed", "fails"],
+            "[axes]",
+        )?;
+        let axes = Axes {
+            patterns: string_axis(axes_t, "pattern")?,
+            algos: string_axis(axes_t, "algo")?,
+            loads: load_axis(axes_t)?,
+            seeds: int_axis(axes_t, "seed", &[1])?,
+            fails: int_axis(axes_t, "fails", &[0])?
+                .into_iter()
+                .map(|s| s as usize)
+                .collect(),
+        };
+
+        let mut sim = SimConfig {
+            tick_threads: 1,
+            ..SimConfig::default()
+        };
+        if let Some(t) = v.get("sim") {
+            let t = t.as_table().ok_or("[sim] must be a table")?;
+            apply_sim_overrides(&mut sim, t)?;
+        }
+
+        let mut steady = SteadyOpts::default();
+        if let Some(t) = v.get("steady") {
+            let t = t.as_table().ok_or("[steady] must be a table")?;
+            apply_steady_overrides(&mut steady, t)?;
+        }
+
+        let mut fault = FaultProtocol::default();
+        if let Some(t) = v.get("fault") {
+            let t = t.as_table().ok_or("[fault] must be a table")?;
+            check_keys(t, &["cycles", "drain_factor"], "[fault]")?;
+            if let Some(c) = t.get("cycles") {
+                fault.cycles = c
+                    .as_i64()
+                    .filter(|&c| c > 0)
+                    .ok_or("fault.cycles must be > 0")? as u64;
+            }
+            if let Some(d) = t.get("drain_factor") {
+                fault.drain_factor =
+                    d.as_i64()
+                        .filter(|&d| d > 0)
+                        .ok_or("fault.drain_factor must be > 0")? as u64;
+            }
+        }
+
+        let mut overrides = Vec::new();
+        if let Some(list) = v.get("override") {
+            let list = list
+                .as_array()
+                .ok_or("override must be [[override]] tables")?;
+            for (i, o) in list.iter().enumerate() {
+                let t = o
+                    .as_table()
+                    .ok_or_else(|| format!("override[{i}] must be a table"))?;
+                check_keys(t, &["when", "sim"], &format!("override[{i}]"))?;
+                let when = t
+                    .get("when")
+                    .and_then(Value::as_table)
+                    .ok_or_else(|| format!("override[{i}] needs a `when` table"))?;
+                check_keys(
+                    when,
+                    &["pattern", "algo", "load", "seed", "fails"],
+                    &format!("override[{i}].when"),
+                )?;
+                let sim_patch = t
+                    .get("sim")
+                    .and_then(Value::as_table)
+                    .ok_or_else(|| format!("override[{i}] needs a [override.sim] table"))?;
+                // Validate the patch by applying it to a scratch config.
+                let mut scratch = sim;
+                apply_sim_overrides(&mut scratch, sim_patch)
+                    .map_err(|e| format!("override[{i}]: {e}"))?;
+                overrides.push(Override {
+                    when: when.clone(),
+                    sim: sim_patch.clone(),
+                });
+            }
+        }
+
+        let spec = ExperimentSpec {
+            name,
+            kind,
+            description,
+            network,
+            axes,
+            sim,
+            steady,
+            fault,
+            overrides,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Semantic validation: axis values must name real algorithms and
+    /// patterns, loads must be in (0, 1], and every expanded point's
+    /// simulator config must be internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.axes.patterns.is_empty() || self.axes.algos.is_empty() {
+            return Err("axes.pattern and axes.algo must be non-empty".into());
+        }
+        if self.axes.loads.is_empty() || self.axes.seeds.is_empty() || self.axes.fails.is_empty() {
+            return Err("axes.load, axes.seed, axes.fails must be non-empty".into());
+        }
+        for &l in &self.axes.loads {
+            if !(l > 0.0 && l <= 1.0) {
+                return Err(format!("load {l} outside (0, 1]"));
+            }
+        }
+        let n = self.axes.patterns.len()
+            * self.axes.algos.len()
+            * self.axes.loads.len()
+            * self.axes.seeds.len()
+            * self.axes.fails.len();
+        if n > 1_000_000 {
+            return Err(format!("spec expands to {n} points (limit 1,000,000)"));
+        }
+        let hx = std::sync::Arc::new(self.network.build());
+        for a in &self.axes.algos {
+            if hxcore::hyperx_algorithm(a, hx.clone(), self.sim.num_vcs).is_none() {
+                return Err(format!(
+                    "unknown algorithm {a:?} (known: {})",
+                    hxcore::HYPERX_ALGORITHMS.join(", ")
+                ));
+            }
+        }
+        for p in &self.axes.patterns {
+            if hxtraffic::pattern_by_name(p, hx.clone()).is_none() {
+                return Err(format!(
+                    "unknown pattern {p:?} (known: {})",
+                    hxtraffic::FIG6_PATTERNS.join(", ")
+                ));
+            }
+        }
+        if self.kind == Kind::Steady && self.axes.fails.iter().any(|&f| f != 0) {
+            return Err(
+                "steady-state specs must keep axes.fails = [0] (use kind = \"fault\")".into(),
+            );
+        }
+        // validate() panics on inconsistency; run it on every resolved
+        // point config so a bad override fails at load time, not mid-sweep.
+        for p in self.expand() {
+            let c = p.sim;
+            if c.num_vcs < 1
+                || c.buf_flits < c.max_packet_flits
+                || c.max_packet_flits < 1
+                || c.watchdog_stall_cycles <= c.router_chan_latency
+                || c.max_packet_hops < 1
+            {
+                return Err(format!(
+                    "point {}/{} load {} seed {} fails {}: inconsistent sim config {c:?}",
+                    p.pattern, p.algo, p.load, p.seed, p.fails
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the axes into the full point list, in canonical order:
+    /// pattern, then algo, then load, then fails, with seed innermost.
+    pub fn expand(&self) -> Vec<Point> {
+        let mut points = Vec::new();
+        for pattern in &self.axes.patterns {
+            for algo in &self.axes.algos {
+                for &load in &self.axes.loads {
+                    for &fails in &self.axes.fails {
+                        for &seed in &self.axes.seeds {
+                            let mut sim = self.sim;
+                            for o in &self.overrides {
+                                if override_matches(o, pattern, algo, load, seed, fails) {
+                                    apply_sim_overrides(&mut sim, &o.sim)
+                                        .expect("override validated at load time");
+                                }
+                            }
+                            points.push(Point {
+                                kind: self.kind,
+                                network: self.network,
+                                pattern: pattern.clone(),
+                                algo: algo.clone(),
+                                load,
+                                seed,
+                                fails,
+                                sim,
+                                steady: self.steady,
+                                fault: self.fault,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+fn override_matches(
+    o: &Override,
+    pattern: &str,
+    algo: &str,
+    load: f64,
+    seed: u64,
+    fails: usize,
+) -> bool {
+    o.when.iter().all(|(k, v)| match k.as_str() {
+        "pattern" => v.as_str() == Some(pattern),
+        "algo" => v.as_str() == Some(algo),
+        "load" => v.as_f64().is_some_and(|w| (w - load).abs() < 1e-9),
+        "seed" => v.as_i64() == Some(seed as i64),
+        "fails" => v.as_i64() == Some(fails as i64),
+        _ => false,
+    })
+}
+
+fn check_keys(table: &BTreeMap<String, Value>, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    for k in table.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "unknown key {k:?} in {ctx} (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn usize_field(t: &BTreeMap<String, Value>, key: &str, ctx: &str) -> Result<usize, String> {
+    t.get(key)
+        .and_then(Value::as_i64)
+        .filter(|&v| v >= 0)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("{ctx}.{key} must be a non-negative integer"))
+}
+
+fn string_axis(t: &BTreeMap<String, Value>, key: &str) -> Result<Vec<String>, String> {
+    let arr = t
+        .get(key)
+        .ok_or_else(|| format!("axes.{key} is required"))?
+        .as_array()
+        .ok_or_else(|| format!("axes.{key} must be an array of strings"))?;
+    arr.iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("axes.{key} must be an array of strings"))
+        })
+        .collect()
+}
+
+fn int_axis(t: &BTreeMap<String, Value>, key: &str, default: &[u64]) -> Result<Vec<u64>, String> {
+    match t.get(key) {
+        None => Ok(default.to_vec()),
+        Some(v) => {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| format!("axes.{key} must be an array of integers"))?;
+            arr.iter()
+                .map(|v| {
+                    v.as_i64()
+                        .filter(|&i| i >= 0)
+                        .map(|i| i as u64)
+                        .ok_or_else(|| format!("axes.{key} must be non-negative integers"))
+                })
+                .collect()
+        }
+    }
+}
+
+/// `axes.load` accepts either an explicit array or an inclusive
+/// `{ start, stop, step }` grid. Grid values are rounded to 1e-3 (as the
+/// legacy `fig6_synthetic --step` loop did) so grids and hand-written
+/// lists hash identically.
+fn load_axis(t: &BTreeMap<String, Value>) -> Result<Vec<f64>, String> {
+    let v = t.get("load").ok_or("axes.load is required")?;
+    if let Some(arr) = v.as_array() {
+        return arr
+            .iter()
+            .map(|x| {
+                x.as_f64()
+                    .ok_or_else(|| "axes.load must be numbers".to_string())
+            })
+            .collect();
+    }
+    let g = v
+        .as_table()
+        .ok_or("axes.load must be an array or { start, stop, step }")?;
+    check_keys(g, &["start", "stop", "step"], "axes.load")?;
+    let f = |k: &str| {
+        g.get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("axes.load.{k} must be a number"))
+    };
+    let (start, stop, step) = (f("start")?, f("stop")?, f("step")?);
+    if step <= 0.0 || start <= 0.0 || stop < start {
+        return Err("axes.load grid needs 0 < start <= stop and step > 0".into());
+    }
+    let mut loads = Vec::new();
+    let mut l = start;
+    while l <= stop + 1e-9 {
+        loads.push((l * 1000.0).round() / 1000.0);
+        l += step;
+    }
+    Ok(loads)
+}
+
+/// Applies a `[sim]` table onto a `SimConfig`. Unknown keys are errors
+/// (a typo must not silently run the default experiment). `tick_threads`
+/// is deliberately not accepted: threading is an execution option
+/// (`hx sweep --threads`), not part of an experiment's identity.
+pub fn apply_sim_overrides(cfg: &mut SimConfig, t: &BTreeMap<String, Value>) -> Result<(), String> {
+    for (k, v) in t {
+        let int = || {
+            v.as_i64()
+                .filter(|&i| i >= 0)
+                .ok_or_else(|| format!("sim.{k} must be a non-negative integer"))
+        };
+        match k.as_str() {
+            "num_vcs" => cfg.num_vcs = int()? as usize,
+            "buf_flits" => cfg.buf_flits = int()? as usize,
+            "crossbar_latency" => cfg.crossbar_latency = int()? as u64,
+            "crossbar_speedup" => cfg.crossbar_speedup = int()? as usize,
+            "router_chan_latency" => cfg.router_chan_latency = int()? as u64,
+            "short_chan_latency" => cfg.short_chan_latency = int()? as u64,
+            "term_chan_latency" => cfg.term_chan_latency = int()? as u64,
+            "max_packet_flits" => cfg.max_packet_flits = int()? as usize,
+            "max_source_queue" => cfg.max_source_queue = int()? as usize,
+            "atomic_queue_alloc" => {
+                cfg.atomic_queue_alloc = v
+                    .as_bool()
+                    .ok_or_else(|| format!("sim.{k} must be a boolean"))?
+            }
+            "watchdog_stall_cycles" => cfg.watchdog_stall_cycles = int()? as u64,
+            "max_packet_hops" => cfg.max_packet_hops = int()? as u8,
+            other => {
+                return Err(format!(
+                    "unknown [sim] key {other:?} (tick_threads is an execution \
+                     option: use `hx sweep --threads`)"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a `[steady]` table onto `SteadyOpts`; unknown keys are errors.
+pub fn apply_steady_overrides(
+    opts: &mut SteadyOpts,
+    t: &BTreeMap<String, Value>,
+) -> Result<(), String> {
+    for (k, v) in t {
+        let int = || {
+            v.as_i64()
+                .filter(|&i| i > 0)
+                .ok_or_else(|| format!("steady.{k} must be a positive integer"))
+        };
+        match k.as_str() {
+            "warmup_window" => opts.warmup_window = int()? as u64,
+            "max_warmup_windows" => opts.max_warmup_windows = int()? as u32,
+            "measure_cycles" => opts.measure_cycles = int()? as u64,
+            "stability_tol" => {
+                opts.stability_tol = v
+                    .as_f64()
+                    .filter(|&x| x > 0.0)
+                    .ok_or_else(|| format!("steady.{k} must be a positive number"))?
+            }
+            other => return Err(format!("unknown [steady] key {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(toml: &str) -> Result<ExperimentSpec, String> {
+        ExperimentSpec::from_value(&parse_toml(toml).expect("toml parses"))
+    }
+
+    const BASE: &str = r#"
+[experiment]
+name = "t"
+kind = "steady"
+[network]
+dims = 2
+width = 2
+terminals = 1
+[axes]
+pattern = ["UR"]
+algo = ["DOR", "DimWAR"]
+load = [0.1, 0.2]
+seed = [1, 2]
+"#;
+
+    #[test]
+    fn expands_cartesian_in_canonical_order() {
+        let s = spec(BASE).unwrap();
+        let pts = s.expand();
+        assert_eq!(pts.len(), 2 * 2 * 2);
+        // pattern, algo, load, fails, seed (innermost).
+        assert_eq!(
+            (pts[0].algo.as_str(), pts[0].load, pts[0].seed),
+            ("DOR", 0.1, 1)
+        );
+        assert_eq!(
+            (pts[1].algo.as_str(), pts[1].load, pts[1].seed),
+            ("DOR", 0.1, 2)
+        );
+        assert_eq!(
+            (pts[2].algo.as_str(), pts[2].load, pts[2].seed),
+            ("DOR", 0.2, 1)
+        );
+        assert_eq!(pts[4].algo, "DimWAR");
+    }
+
+    #[test]
+    fn load_grid_matches_explicit_list() {
+        let a = spec(&BASE.replace(
+            "load = [0.1, 0.2]",
+            "load = { start = 0.1, stop = 0.2, step = 0.1 }",
+        ))
+        .unwrap();
+        assert_eq!(a.axes.loads, vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(spec(&format!("{BASE}\n[sim]\nnum_vc = 4")).is_err());
+        assert!(spec(&format!("{BASE}\n[sim]\ntick_threads = 4")).is_err());
+        assert!(spec(&BASE.replace("pattern", "patern")).is_err());
+    }
+
+    #[test]
+    fn unknown_algo_and_pattern_rejected() {
+        assert!(spec(&BASE.replace("\"DOR\"", "\"BogusWAR\"")).is_err());
+        assert!(spec(&BASE.replace("[\"UR\"]", "[\"XX\"]")).is_err());
+    }
+
+    #[test]
+    fn overrides_patch_matching_points_only() {
+        let s = spec(&format!(
+            "{BASE}\n[[override]]\nwhen = {{ algo = \"DOR\", load = 0.2 }}\n[override.sim]\nnum_vcs = 4\n"
+        ))
+        .unwrap();
+        let pts = s.expand();
+        for p in &pts {
+            let expect = if p.algo == "DOR" && (p.load - 0.2).abs() < 1e-9 {
+                4
+            } else {
+                8
+            };
+            assert_eq!(p.sim.num_vcs, expect, "{}/{}", p.algo, p.load);
+        }
+    }
+
+    #[test]
+    fn steady_spec_rejects_fails_axis() {
+        assert!(spec(&BASE.replace("seed = [1, 2]", "seed = [1]\nfails = [1]")).is_err());
+    }
+
+    #[test]
+    fn bad_override_config_rejected_at_load() {
+        // buf_flits < max_packet_flits is inconsistent.
+        let s = spec(&format!(
+            "{BASE}\n[[override]]\nwhen = {{ algo = \"DOR\" }}\n[override.sim]\nbuf_flits = 4\n"
+        ));
+        assert!(s.is_err(), "{s:?}");
+    }
+}

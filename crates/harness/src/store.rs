@@ -1,0 +1,240 @@
+//! Content-addressed result store (`results/store/` by default).
+//!
+//! One file per completed sweep point, named by the point's digest
+//! (`<16-hex>.json`), holding exactly two JSON lines:
+//!
+//! 1. a *meta* row (`kind = "store_meta"`): digest, experiment name, axis
+//!    labels, wall-clock cost — human/tooling context, free to vary
+//!    between runs;
+//! 2. the *result* row, stored **verbatim**. Cache hits splice these raw
+//!    bytes back into the merged sweep output, which is what makes a
+//!    resumed run byte-identical to an uninterrupted one without relying
+//!    on float re-serialization round-trips.
+//!
+//! Writes go to a temp file in the same directory followed by an atomic
+//! rename, so a killed sweep leaves only whole entries behind — the
+//! property `hx sweep --resume` builds on.
+
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::digest::digest_hex;
+use crate::value::parse_json;
+
+/// Default store location, relative to the repo root.
+pub const DEFAULT_STORE_DIR: &str = "results/store";
+
+/// Meta line of a store entry.
+#[derive(serde::Serialize, Clone, Debug)]
+pub struct StoreMeta {
+    pub kind: &'static str,
+    pub digest: String,
+    pub experiment: String,
+    pub pattern: String,
+    pub algo: String,
+    pub load: f64,
+    pub seed: u64,
+    pub fails: u64,
+    pub elapsed_ms: u64,
+}
+
+/// A scanned entry (for `hx status` / `hx gc`).
+#[derive(Clone, Debug)]
+pub struct EntryInfo {
+    pub digest: u64,
+    pub experiment: String,
+    pub bytes: u64,
+}
+
+/// Handle on a store directory.
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<Store> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", digest_hex(digest)))
+    }
+
+    /// Returns the stored result-row bytes for `digest`, or `None` when
+    /// the point has not been computed (or the entry is unreadable /
+    /// from an incompatible schema — both count as misses, never errors:
+    /// the sweep recomputes and overwrites).
+    pub fn lookup(&self, digest: u64) -> Option<String> {
+        let content = std::fs::read_to_string(self.path_for(digest)).ok()?;
+        let mut lines = content.lines();
+        let meta = lines.next()?;
+        let row = lines.next()?;
+        // The version must be followed by a delimiter so e.g. version 10
+        // cannot satisfy a version-1 prefix check.
+        let v = hxsim::SCHEMA_VERSION;
+        let ok = |line: &str| {
+            line.starts_with(&format!("{{\"schema_version\":{v},"))
+                || line == format!("{{\"schema_version\":{v}}}")
+        };
+        if !ok(meta) || !ok(row) {
+            return None;
+        }
+        Some(row.to_string())
+    }
+
+    /// Atomically writes an entry: meta row + verbatim result row.
+    pub fn insert(&self, digest: u64, meta: &StoreMeta, row: &str) -> std::io::Result<()> {
+        debug_assert!(!row.contains('\n'), "result row must be a single line");
+        let final_path = self.path_for(digest);
+        let tmp_path = self.dir.join(format!(
+            ".tmp.{}.{}",
+            digest_hex(digest),
+            std::process::id()
+        ));
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            let meta_line = hxsim::versioned_json_row(meta);
+            writeln!(f, "{meta_line}")?;
+            writeln!(f, "{row}")?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Scans every entry, returning digest + experiment label + size.
+    /// Unparsable files are reported with an empty experiment name.
+    pub fn scan(&self) -> std::io::Result<Vec<EntryInfo>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(hex) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let Ok(digest) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let experiment = std::fs::read_to_string(entry.path())
+                .ok()
+                .and_then(|c| {
+                    let meta = parse_json(c.lines().next()?).ok()?;
+                    Some(meta.get("experiment")?.as_str()?.to_string())
+                })
+                .unwrap_or_default();
+            out.push(EntryInfo {
+                digest,
+                experiment,
+                bytes,
+            });
+        }
+        out.sort_by_key(|e| e.digest);
+        Ok(out)
+    }
+
+    /// Removes every entry whose digest is not in `keep`. With `dry_run`,
+    /// nothing is deleted. Returns (kept, removed, removed_bytes).
+    pub fn gc(&self, keep: &HashSet<u64>, dry_run: bool) -> std::io::Result<(usize, usize, u64)> {
+        let mut kept = 0;
+        let mut removed = 0;
+        let mut removed_bytes = 0;
+        for e in self.scan()? {
+            if keep.contains(&e.digest) {
+                kept += 1;
+            } else {
+                removed += 1;
+                removed_bytes += e.bytes;
+                if !dry_run {
+                    std::fs::remove_file(self.path_for(e.digest))?;
+                }
+            }
+        }
+        // Leftover temp files from killed sweeps are always garbage.
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().starts_with(".tmp.") && !dry_run {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+        Ok((kept, removed, removed_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("hx_store_test_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        Store::open(&dir).unwrap()
+    }
+
+    fn meta(exp: &str, digest: u64) -> StoreMeta {
+        StoreMeta {
+            kind: "store_meta",
+            digest: digest_hex(digest),
+            experiment: exp.into(),
+            pattern: "UR".into(),
+            algo: "DOR".into(),
+            load: 0.1,
+            seed: 1,
+            fails: 0,
+            elapsed_ms: 5,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip_is_verbatim() {
+        let s = tmp_store("roundtrip");
+        let row = format!(
+            "{{\"schema_version\":{},\"accepted\":0.30000000000000004}}",
+            hxsim::SCHEMA_VERSION
+        );
+        assert_eq!(s.lookup(42), None);
+        s.insert(42, &meta("t", 42), &row).unwrap();
+        assert_eq!(s.lookup(42).as_deref(), Some(row.as_str()));
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn incompatible_schema_is_a_miss() {
+        let s = tmp_store("schema");
+        let path = s.dir().join(format!("{}.json", digest_hex(7)));
+        std::fs::write(
+            &path,
+            "{\"schema_version\":999}\n{\"schema_version\":999}\n",
+        )
+        .unwrap();
+        assert_eq!(s.lookup(7), None);
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn gc_keeps_only_reachable() {
+        let s = tmp_store("gc");
+        for d in [1u64, 2, 3] {
+            s.insert(d, &meta("t", d), "{\"schema_version\":1}")
+                .unwrap();
+        }
+        let keep: HashSet<u64> = [1u64, 3].into_iter().collect();
+        let (kept, removed, _) = s.gc(&keep, true).unwrap();
+        assert_eq!((kept, removed), (2, 1));
+        assert!(s.lookup(2).is_some(), "dry run must not delete");
+        let (kept, removed, _) = s.gc(&keep, false).unwrap();
+        assert_eq!((kept, removed), (2, 1));
+        assert!(s.lookup(2).is_none());
+        assert!(s.lookup(1).is_some() && s.lookup(3).is_some());
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+}

@@ -1,0 +1,759 @@
+//! A small self-describing value model with TOML-subset and JSON parsers.
+//!
+//! The workspace's vendored `serde` stand-in only serializes (it renders
+//! JSON directly and has no `Deserialize` half), so the spec loader and
+//! the result-store reader parse into this [`Value`] enum by hand. The
+//! TOML dialect covers what experiment specs need: `[section]` /
+//! `[[array-of-tables]]` headers (dotted), dotted keys, basic and literal
+//! strings, integers (with `_` separators), floats, booleans, single- and
+//! multi-line arrays, inline tables, and `#` comments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML or JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Value>),
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor: integers coerce to floats (TOML `load = 1` and
+    /// `load = 1.0` mean the same sweep point).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on tables (`None` on non-tables or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+
+    /// Dotted-path lookup: `get_path("experiment.name")`.
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        path.split('.').try_fold(self, |v, k| v.get(k))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Table(t) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- JSON --
+
+/// Parses a JSON document into a [`Value`].
+pub fn parse_json(src: &str) -> Result<Value, String> {
+    let mut p = JsonParser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(b'n') => {
+                // JSON null has no TOML analogue; surface it as an error so
+                // specs can't silently carry holes.
+                Err(format!("null is not a supported value (byte {})", self.pos))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut t = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Table(t));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            t.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Table(t));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut a = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(a));
+        }
+        loop {
+            self.skip_ws();
+            a.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(a));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("bad escape \\{:?}", other.map(|c| c as char)))
+                        }
+                    }
+                }
+                Some(&b) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = &self.bytes[self.pos..self.pos + len];
+                    s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if is_float {
+            text.parse()
+                .map(Value::Float)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else {
+            text.parse()
+                .map(Value::Int)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- TOML --
+
+/// Parses a TOML-subset document (see module docs) into a table [`Value`].
+pub fn parse_toml(src: &str) -> Result<Value, String> {
+    let mut root = BTreeMap::new();
+    // Key path of the section the parser is currently filling. A segment
+    // naming an array of tables addresses its most recently appended
+    // element, so `[override.sim]` after `[[override]]` extends the last
+    // override.
+    let mut current: Vec<String> = Vec::new();
+
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let path = parse_key_path(header.trim()).map_err(&err)?;
+            let arr = resolve_array(&mut root, &path).map_err(&err)?;
+            arr.push(Value::Table(BTreeMap::new()));
+            current = path;
+        } else if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let path = parse_key_path(header.trim()).map_err(&err)?;
+            ensure_table(&mut root, &path).map_err(&err)?;
+            current = path;
+        } else if let Some(eq) = find_top_level_eq(&line) {
+            let key_part = line[..eq].trim();
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets
+            // balance outside of strings.
+            while bracket_balance(&value_text) > 0 {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err("unterminated array".into()));
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(next).trim());
+            }
+            let key_path = parse_key_path(key_part).map_err(&err)?;
+            let value = parse_toml_value(value_text.trim()).map_err(&err)?;
+            let mut full = current.clone();
+            full.extend(key_path);
+            let (name, parents) = full.split_last().expect("non-empty key path");
+            let table = ensure_table(&mut root, parents).map_err(&err)?;
+            if table.insert(name.clone(), value).is_some() {
+                return Err(err(format!("duplicate key {name:?}")));
+            }
+        } else {
+            return Err(err(format!("cannot parse {line:?}")));
+        }
+    }
+    Ok(Value::Table(root))
+}
+
+/// Walks (creating as needed) to the table at `path`; array-of-tables
+/// segments dereference to their last element.
+fn ensure_table<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+) -> Result<&'a mut BTreeMap<String, Value>, String> {
+    let mut cur = root;
+    for k in path {
+        let entry = cur
+            .entry(k.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            Value::Array(a) => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(format!("{k:?} is not a table")),
+            },
+            _ => return Err(format!("{k:?} is not a table")),
+        };
+    }
+    Ok(cur)
+}
+
+/// Walks (creating as needed) to the array of tables at `path`.
+fn resolve_array<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+) -> Result<&'a mut Vec<Value>, String> {
+    let (last, parents) = path.split_last().ok_or("empty [[header]]")?;
+    let parent = ensure_table(root, parents)?;
+    let entry = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()));
+    match entry {
+        Value::Array(a) => Ok(a),
+        _ => Err(format!("{last:?} is not an array of tables")),
+    }
+}
+
+/// Removes a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escape = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Finds the first `=` outside any quoted string.
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '=' if !in_basic && !in_literal => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Net `[`/`{` depth outside strings (positive means unterminated).
+fn bracket_balance(text: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escape = false;
+    for c in text.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escape = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '[' | '{' if !in_basic && !in_literal => depth += 1,
+            ']' | '}' if !in_basic && !in_literal => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Parses a (possibly dotted) key: `a.b."c d"`.
+fn parse_key_path(text: &str) -> Result<Vec<String>, String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' | '\'' => {
+                let quote = c;
+                for q in chars.by_ref() {
+                    if q == quote {
+                        break;
+                    }
+                    cur.push(q);
+                }
+            }
+            '.' => {
+                parts.push(std::mem::take(&mut cur).trim().to_string());
+            }
+            c => cur.push(c),
+        }
+    }
+    parts.push(cur.trim().to_string());
+    if parts.iter().any(|p| p.is_empty()) {
+        return Err(format!("bad key {text:?}"));
+    }
+    Ok(parts)
+}
+
+/// Parses a single TOML value (scalar, array, or inline table).
+fn parse_toml_value(text: &str) -> Result<Value, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("missing value".into());
+    }
+    if let Some(inner) = text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        // Basic string with escapes; reuse the JSON string machinery.
+        return parse_json(&format!("\"{inner}\""));
+    }
+    if let Some(inner) = text.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        if !text.ends_with(']') {
+            return Err(format!("unterminated array {text:?}"));
+        }
+        let mut items = Vec::new();
+        for part in split_top_level(&text[1..text.len() - 1]) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_toml_value(part)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if text.starts_with('{') {
+        if !text.ends_with('}') {
+            return Err(format!("unterminated inline table {text:?}"));
+        }
+        let mut table = BTreeMap::new();
+        for part in split_top_level(&text[1..text.len() - 1]) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let eq = find_top_level_eq(part).ok_or_else(|| format!("bad entry {part:?}"))?;
+            let key = parse_key_path(part[..eq].trim())?;
+            if key.len() != 1 {
+                return Err(format!("dotted keys unsupported in inline table: {part:?}"));
+            }
+            table.insert(key[0].clone(), parse_toml_value(part[eq + 1..].trim())?);
+        }
+        return Ok(Value::Table(table));
+    }
+    // Number: integers may use `_` separators.
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    if clean.contains(['.', 'e', 'E']) || clean == "inf" || clean == "nan" {
+        clean
+            .parse()
+            .map(Value::Float)
+            .map_err(|e| format!("bad value {text:?}: {e}"))
+    } else {
+        clean
+            .parse()
+            .map(Value::Int)
+            .map_err(|e| format!("bad value {text:?}: {e}"))
+    }
+}
+
+/// Splits on top-level commas (outside strings/brackets).
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escape = false;
+    for c in text.chars() {
+        if escape {
+            escape = false;
+            cur.push(c);
+            continue;
+        }
+        match c {
+            '\\' if in_basic => {
+                escape = true;
+                cur.push(c);
+            }
+            '"' if !in_literal => {
+                in_basic = !in_basic;
+                cur.push(c);
+            }
+            '\'' if !in_basic => {
+                in_literal = !in_literal;
+                cur.push(c);
+            }
+            '[' | '{' if !in_basic && !in_literal => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' if !in_basic && !in_literal => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 && !in_basic && !in_literal => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_shapes() {
+        let v = parse_json(r#"{"a":1,"b":[1.5,"x",true],"c":{"d":-2}}"#).unwrap();
+        assert_eq!(v.get_path("a").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get_path("c.d").unwrap().as_i64(), Some(-2));
+        let arr = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.5));
+        assert_eq!(arr[1].as_str(), Some("x"));
+        assert_eq!(arr[2].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("null").is_err());
+        assert!(parse_json("{\"a\":1} x").is_err());
+    }
+
+    #[test]
+    fn toml_sections_keys_arrays() {
+        let v = parse_toml(
+            r#"
+# top comment
+title = "demo"
+
+[experiment]
+name = "fig6"   # trailing comment
+kind = "steady"
+
+[axes]
+algo = ["DOR", "DimWAR"]
+load = [
+  0.1, 0.2,
+  0.3,
+]
+seed = [1]
+
+[sim]
+num_vcs = 8
+atomic_queue_alloc = false
+stability = 0.12
+big = 1_000_000
+"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("demo"));
+        assert_eq!(
+            v.get_path("experiment.name").unwrap().as_str(),
+            Some("fig6")
+        );
+        let loads: Vec<f64> = v
+            .get_path("axes.load")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(loads, vec![0.1, 0.2, 0.3]);
+        assert_eq!(v.get_path("sim.big").unwrap().as_i64(), Some(1_000_000));
+        assert_eq!(v.get_path("sim.stability").unwrap().as_f64(), Some(0.12));
+        assert_eq!(
+            v.get_path("sim.atomic_queue_alloc").unwrap().as_bool(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn toml_array_of_tables_with_subsections() {
+        let v = parse_toml(
+            r#"
+[[override]]
+when = { pattern = "DCR" }
+[override.sim]
+watchdog_stall_cycles = 5000
+
+[[override]]
+when = { algo = "DOR", load = 0.4 }
+[override.sim]
+num_vcs = 4
+"#,
+        )
+        .unwrap();
+        let overrides = v.get("override").unwrap().as_array().unwrap();
+        assert_eq!(overrides.len(), 2);
+        assert_eq!(
+            overrides[0].get_path("when.pattern").unwrap().as_str(),
+            Some("DCR")
+        );
+        assert_eq!(
+            overrides[0]
+                .get_path("sim.watchdog_stall_cycles")
+                .unwrap()
+                .as_i64(),
+            Some(5000)
+        );
+        assert_eq!(
+            overrides[1].get_path("when.load").unwrap().as_f64(),
+            Some(0.4)
+        );
+        assert_eq!(
+            overrides[1].get_path("sim.num_vcs").unwrap().as_i64(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn toml_duplicate_key_rejected() {
+        assert!(parse_toml("a = 1\na = 2").is_err());
+    }
+
+    #[test]
+    fn toml_dotted_keys() {
+        let v = parse_toml("a.b = 1\n[c]\nd.e = \"x\"").unwrap();
+        assert_eq!(v.get_path("a.b").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get_path("c.d.e").unwrap().as_str(), Some("x"));
+    }
+}

@@ -91,7 +91,48 @@ fn default_tick_threads() -> usize {
         .map_or(1, |n| n.max(1))
 }
 
+/// The semantically meaningful subset of [`SimConfig`], serialized with a
+/// fixed field order for content-addressed hashing (the `hx` result
+/// store). Excludes `tick_threads`: the parallel tick engine is
+/// bit-identical for every thread count, so the thread count is an
+/// execution knob, not part of the experiment's identity — hashing it
+/// would spuriously miss the cache when re-running on different hardware.
+#[derive(serde::Serialize, Clone, Copy, Debug, PartialEq)]
+pub struct CanonicalSimConfig {
+    pub num_vcs: usize,
+    pub buf_flits: usize,
+    pub crossbar_latency: u64,
+    pub crossbar_speedup: usize,
+    pub router_chan_latency: u64,
+    pub short_chan_latency: u64,
+    pub term_chan_latency: u64,
+    pub max_packet_flits: usize,
+    pub max_source_queue: usize,
+    pub atomic_queue_alloc: bool,
+    pub watchdog_stall_cycles: u64,
+    pub max_packet_hops: u8,
+}
+
 impl SimConfig {
+    /// The canonical (hashable) view of this configuration; see
+    /// [`CanonicalSimConfig`].
+    pub fn canonical(&self) -> CanonicalSimConfig {
+        CanonicalSimConfig {
+            num_vcs: self.num_vcs,
+            buf_flits: self.buf_flits,
+            crossbar_latency: self.crossbar_latency,
+            crossbar_speedup: self.crossbar_speedup,
+            router_chan_latency: self.router_chan_latency,
+            short_chan_latency: self.short_chan_latency,
+            term_chan_latency: self.term_chan_latency,
+            max_packet_flits: self.max_packet_flits,
+            max_source_queue: self.max_source_queue,
+            atomic_queue_alloc: self.atomic_queue_alloc,
+            watchdog_stall_cycles: self.watchdog_stall_cycles,
+            max_packet_hops: self.max_packet_hops,
+        }
+    }
+
     /// Validates internal consistency (buffer must hold a whole packet).
     pub fn validate(&self) {
         assert!(self.num_vcs >= 1, "need at least one VC");

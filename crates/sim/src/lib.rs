@@ -30,6 +30,7 @@ mod network;
 mod packet;
 mod router;
 mod runner;
+pub mod schema;
 #[allow(clippy::module_inception)]
 mod sim;
 mod stats;
@@ -38,7 +39,7 @@ mod trace;
 mod workload;
 
 pub use channel::Channel;
-pub use config::SimConfig;
+pub use config::{CanonicalSimConfig, SimConfig};
 pub use fault::{FaultAction, FaultEvent, FaultSchedule, RouterDiag, WatchdogReport};
 pub use metrics::{
     LogHist, Metrics, MetricsConfig, MetricsSummary, NetSample, PhaseTimers, PortSample,
@@ -47,6 +48,7 @@ pub use network::Network;
 pub use packet::{Flit, Packet, PacketId, PacketPool};
 pub use router::Router;
 pub use runner::{run_steady_state, LoadPoint, SteadyOpts};
+pub use schema::{fnv1a, versioned_json_row, SCHEMA_VERSION};
 pub use sim::Sim;
 pub use stats::{LatencyHist, Stats};
 pub use terminal::Terminal;

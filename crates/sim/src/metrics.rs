@@ -607,7 +607,7 @@ impl Metrics {
         }
         let mut out = String::new();
         let mut push = |row: &dyn serde::Serialize| {
-            row.to_json(&mut out);
+            out.push_str(&crate::schema::versioned_json_row(row));
             out.push('\n');
         };
         push(&MetaRow {
@@ -635,12 +635,7 @@ impl Metrics {
     /// FNV-1a hash of [`Self::deterministic_jsonl`] — a compact fingerprint
     /// for golden/determinism tests.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.deterministic_jsonl().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        crate::schema::fnv1a(self.deterministic_jsonl().as_bytes())
     }
 
     /// Writes the metric streams to `path` as JSON lines: the deterministic
@@ -654,14 +649,10 @@ impl Metrics {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.deterministic_jsonl().as_bytes())?;
         if self.cfg.timers {
-            let mut s = String::new();
-            serde::Serialize::to_json(
-                &TimersRow {
-                    kind: "timers",
-                    timers: self.timers,
-                },
-                &mut s,
-            );
+            let mut s = crate::schema::versioned_json_row(&TimersRow {
+                kind: "timers",
+                timers: self.timers,
+            });
             s.push('\n');
             f.write_all(s.as_bytes())?;
         }

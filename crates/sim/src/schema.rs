@@ -1,0 +1,71 @@
+//! Result-format versioning and canonical hashing shared by every crate
+//! that writes rows into `results/`.
+//!
+//! Every JSONL row the workspace emits — metric streams, load-point rows
+//! from the experiment binaries, `hx` result-store entries — carries a
+//! `schema_version` field so a future format change is *detectable*
+//! instead of being silently misparsed by downstream tooling. Bump
+//! [`SCHEMA_VERSION`] whenever the meaning or layout of emitted rows
+//! changes incompatibly; the `hx` result store keys on it, so a bump also
+//! (correctly) invalidates cached sweep points.
+
+/// Version of the JSONL row formats under `results/`. See module docs for
+/// when to bump.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the workspace's canonical fingerprint function
+/// (dependency-free, stable across platforms and releases). Used by the
+/// metrics determinism digest and the `hx` content-addressed result store.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes `row` as a JSON object with a leading
+/// `"schema_version":SCHEMA_VERSION` member spliced in.
+///
+/// The offline serde stand-in renders JSON directly and has no `flatten`,
+/// so rather than adding the field to every row struct (and paying its
+/// memory cost in hot per-sample buffers), the field is injected at the
+/// serialization boundary. `row` must serialize to a JSON object.
+pub fn versioned_json_row<T: serde::Serialize + ?Sized>(row: &T) -> String {
+    let mut body = String::new();
+    row.to_json(&mut body);
+    debug_assert!(
+        body.starts_with('{') && body.ends_with('}'),
+        "versioned_json_row needs an object, got {body}"
+    );
+    if body == "{}" {
+        return format!("{{\"schema_version\":{SCHEMA_VERSION}}}");
+    }
+    format!("{{\"schema_version\":{SCHEMA_VERSION},{}", &body[1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn versioned_row_splices_leading_field() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        assert_eq!(
+            versioned_json_row(&R { x: 7 }),
+            format!("{{\"schema_version\":{SCHEMA_VERSION},\"x\":7}}")
+        );
+    }
+}

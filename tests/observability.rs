@@ -306,14 +306,15 @@ fn jsonl_export_matches_deterministic_stream() {
     m.write_jsonl(path_s).expect("write metrics jsonl");
     let content = std::fs::read_to_string(&path).unwrap();
     assert_eq!(content, m.deterministic_jsonl());
+    let prefix = format!("{{\"schema_version\":{},\"kind\":\"", hxsim::SCHEMA_VERSION);
     for line in content.lines() {
-        assert!(line.starts_with("{\"kind\":\""), "bad JSONL line: {line}");
+        assert!(line.starts_with(&prefix), "bad JSONL line: {line}");
         assert!(line.ends_with('}'));
     }
     let kinds: Vec<&str> = content
         .lines()
         .map(|l| {
-            let rest = &l["{\"kind\":\"".len()..];
+            let rest = &l[prefix.len()..];
             &rest[..rest.find('"').unwrap()]
         })
         .collect();

@@ -1,12 +1,17 @@
-//! Fault-resilience sweep: delivered fraction and latency vs number of
-//! failed links, per routing algorithm.
+//! Fault-resilience sweep: delivered fraction, goodput overhead, and
+//! time-to-recover vs failed links/routers, per routing algorithm.
 //!
-//! Random sets of cables (chosen connectivity-preserving via
-//! `FaultSet::random_links`) are killed at cycle 0 of each run; uniform
-//! random traffic then flows for a fixed window and the network drains.
-//! Adaptive algorithms (DimWAR, OmniWAR) should hold delivered fraction at
-//! 1.0 while DOR — whose single minimal candidate may be dead — wedges on
-//! affected flows and loses them to the watchdog cutoff.
+//! Random sets of cables and whole routers (chosen
+//! connectivity-preserving via `FaultSet::random_links` +
+//! `extend_random_routers`) are killed mid-run at `--kill` and revived at
+//! `--revive` (0 = never); uniform random traffic flows for a fixed
+//! window and the network drains. Adaptive algorithms (DimWAR, OmniWAR,
+//! FT-WAR) should hold delivered fraction near 1.0 while DOR — whose
+//! single minimal candidate may be dead — wedges on affected flows. With
+//! the source-retransmission transport on (`--retransmit` timeout axis),
+//! every algorithm should reach 100% *logical* delivery, paying for it in
+//! retransmitted-flit overhead and recovery latency, which the summary
+//! tables report.
 //!
 //! This binary is a thin wrapper over the `hx` experiment orchestrator
 //! (`hxharness`): it assembles the same declarative sweep spec that
@@ -17,9 +22,10 @@
 //!
 //! ```text
 //! cargo run --release -p hxbench --bin fault_resilience -- \
-//!     [--algos DOR,DimWAR,OmniWAR] [--fails 0,1,2,4,8] [--reps 3] \
-//!     [--load 0.2] [--cycles 10000] [--full] [--seed 1] [--json out.jsonl] \
-//!     [--threads N] [--no-cache]
+//!     [--algos DOR,DimWAR,OmniWAR,FT-WAR] [--fails 0,1,2,4,8] \
+//!     [--router-fails 0,1] [--retransmit 0,400] [--kill 1000] \
+//!     [--revive 5000] [--reps 3] [--load 0.2] [--cycles 10000] [--full] \
+//!     [--seed 1] [--json out.jsonl] [--threads N] [--no-cache]
 //! ```
 //!
 //! `--threads N` shards every simulation's per-cycle compute across N
@@ -37,30 +43,51 @@ use hxbench::{
 use hxharness::{parse_json, run_sweep, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts};
 use hxsim::{SimConfig, SteadyOpts};
 
-const DEFAULT_ALGOS: &[&str] = &["DOR", "DimWAR", "OmniWAR"];
+const DEFAULT_ALGOS: &[&str] = &["DOR", "DimWAR", "OmniWAR", "FT-WAR"];
 
-/// The fields of a harness result row that the table renders.
+/// The fields of a harness result row that the tables render.
 struct Row {
     algo: String,
     fails: usize,
+    router_fails: usize,
+    retransmit: u64,
     delivered_fraction: f64,
     wedged: bool,
+    retransmits: u64,
+    duplicates_dropped: u64,
+    goodput_overhead: f64,
+    time_to_recover: u64,
+    recovery_p99: f64,
 }
 
 fn parse_row(line: &str) -> Row {
     let v = parse_json(line).expect("harness rows are valid JSON");
+    let int = |k: &str| {
+        v.get(k)
+            .and_then(|x| x.as_i64())
+            .unwrap_or_else(|| panic!("{k}")) as u64
+    };
+    let num = |k: &str| {
+        v.get(k)
+            .and_then(|x| x.as_f64())
+            .unwrap_or_else(|| panic!("{k}"))
+    };
     Row {
         algo: v
             .get("algo")
             .and_then(|x| x.as_str())
             .expect("algo")
             .to_string(),
-        fails: v.get("fails").and_then(|x| x.as_i64()).expect("fails") as usize,
-        delivered_fraction: v
-            .get("delivered_fraction")
-            .and_then(|x| x.as_f64())
-            .expect("delivered_fraction"),
+        fails: int("fails") as usize,
+        router_fails: int("router_fails") as usize,
+        retransmit: int("retransmit"),
+        delivered_fraction: num("delivered_fraction"),
         wedged: v.get("wedged").and_then(|x| x.as_bool()).expect("wedged"),
+        retransmits: int("retransmits"),
+        duplicates_dropped: int("duplicates_dropped"),
+        goodput_overhead: num("goodput_overhead"),
+        time_to_recover: int("time_to_recover"),
+        recovery_p99: num("recovery_p99"),
     }
 }
 
@@ -82,6 +109,24 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![0, 1, 2, 4, 8]);
+    let router_fails: Vec<usize> = args
+        .get("router-fails")
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.parse().expect("bad --router-fails"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0, 1]);
+    let retransmit: Vec<u64> = args
+        .get("retransmit")
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.parse().expect("bad --retransmit"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0, 400]);
+    let kill: u64 = args.get_or("kill", 1_000);
+    let revive: u64 = args.get_or("revive", 5_000);
 
     let (width, terminals) = if common.full { (4, 4) } else { (3, 2) };
     let spec = ExperimentSpec {
@@ -99,6 +144,8 @@ fn main() {
             loads: vec![load],
             seeds: (0..reps.max(1)).map(|i| common.seed + i).collect(),
             fails: fails.clone(),
+            router_fails: router_fails.clone(),
+            retransmit: retransmit.clone(),
         },
         sim: SimConfig {
             // Wedged flows must fail fast so the sweep terminates.
@@ -110,6 +157,8 @@ fn main() {
         fault: hxharness::FaultProtocol {
             cycles,
             drain_factor: 4,
+            kill_cycle: kill,
+            revive_cycle: revive,
         },
         overrides: Vec::new(),
     };
@@ -150,32 +199,100 @@ fn main() {
     };
     let rows: Vec<Row> = report.rows.iter().map(|l| parse_row(l)).collect();
 
-    // Summary: delivered fraction (averaged over reps) per algo x fails.
-    let mut header = vec!["failed links".to_string()];
-    header.extend(algos.iter().cloned());
-    let table: Vec<Vec<String>> = fails
-        .iter()
-        .map(|&n| {
-            let mut line = vec![n.to_string()];
-            for a in &algos {
+    // Delivered fraction (averaged over reps) per algo x fault mix, one
+    // table per retransmission setting. With the transport on the
+    // fraction is *logical* (a copy lost to a fault and recovered by
+    // retransmission is not charged against the algorithm).
+    for &rt in &retransmit {
+        let mut header = vec!["links+routers".to_string()];
+        header.extend(algos.iter().cloned());
+        let mut table = Vec::new();
+        for &n in &fails {
+            for &rn in &router_fails {
+                let mut line = vec![format!("{n}+{rn}r")];
+                for a in &algos {
+                    let sel: Vec<&Row> = rows
+                        .iter()
+                        .filter(|r| {
+                            &r.algo == a
+                                && r.fails == n
+                                && r.router_fails == rn
+                                && r.retransmit == rt
+                        })
+                        .collect();
+                    assert!(!sel.is_empty(), "missing rows for {a} at {n}+{rn}r rt={rt}");
+                    let frac =
+                        sel.iter().map(|r| r.delivered_fraction).sum::<f64>() / sel.len() as f64;
+                    let wedged = sel.iter().filter(|r| r.wedged).count();
+                    line.push(if wedged > 0 {
+                        format!("{frac:.3} ({wedged}/{} wedged)", sel.len())
+                    } else {
+                        format!("{frac:.3}")
+                    });
+                }
+                table.push(line);
+            }
+        }
+        let label = if rt == 0 {
+            "retransmission off".to_string()
+        } else {
+            format!("retransmit timeout {rt}")
+        };
+        println!(
+            "\nFault resilience: delivered fraction vs failed links+routers (UR load {load:.2}, {label})"
+        );
+        println!("{}", render_table(&header, &table));
+    }
+
+    // Recovery cost summary per algorithm, over every retransmitting
+    // point that saw at least one fault.
+    if retransmit.iter().any(|&rt| rt > 0) {
+        let header = vec![
+            "algo".to_string(),
+            "retransmits".to_string(),
+            "dups dropped".to_string(),
+            "goodput ovh".to_string(),
+            "recover p99".to_string(),
+            "max t-to-recover".to_string(),
+        ];
+        let table: Vec<Vec<String>> = algos
+            .iter()
+            .map(|a| {
                 let sel: Vec<&Row> = rows
                     .iter()
-                    .filter(|r| &r.algo == a && r.fails == n)
+                    .filter(|r| {
+                        &r.algo == a && r.retransmit > 0 && (r.fails > 0 || r.router_fails > 0)
+                    })
                     .collect();
-                assert!(!sel.is_empty(), "missing rows for {a} at {n} fails");
-                let frac = sel.iter().map(|r| r.delivered_fraction).sum::<f64>() / sel.len() as f64;
-                let wedged = sel.iter().filter(|r| r.wedged).count();
-                line.push(if wedged > 0 {
-                    format!("{frac:.3} ({wedged}/{} wedged)", sel.len())
-                } else {
-                    format!("{frac:.3}")
-                });
-            }
-            line
-        })
-        .collect();
-    println!("\nFault resilience: delivered fraction vs failed links (UR load {load:.2})");
-    println!("{}", render_table(&header, &table));
+                let n = sel.len().max(1) as f64;
+                vec![
+                    a.clone(),
+                    sel.iter().map(|r| r.retransmits).sum::<u64>().to_string(),
+                    sel.iter()
+                        .map(|r| r.duplicates_dropped)
+                        .sum::<u64>()
+                        .to_string(),
+                    format!(
+                        "{:.4}",
+                        sel.iter().map(|r| r.goodput_overhead).sum::<f64>() / n
+                    ),
+                    format!(
+                        "{:.0}",
+                        sel.iter().map(|r| r.recovery_p99).fold(0.0, f64::max)
+                    ),
+                    sel.iter()
+                        .map(|r| r.time_to_recover)
+                        .max()
+                        .unwrap_or(0)
+                        .to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "\nRecovery cost (retransmitting points with faults, kill@{kill} revive@{revive})"
+        );
+        println!("{}", render_table(&header, &table));
+    }
 
     if metrics_args.enabled() {
         let points = spec.expand();

@@ -124,6 +124,8 @@ fn main() {
             loads,
             seeds,
             fails: vec![0],
+            router_fails: vec![0],
+            retransmit: vec![0],
         },
         sim: SimConfig {
             tick_threads: 1,

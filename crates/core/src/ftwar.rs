@@ -1,0 +1,420 @@
+//! Fault-Tolerant Weighted Adaptive Routing (FT-WAR) — the fault-tolerant
+//! HyperX baseline, following the approach of Camarero, Cano, Martínez and
+//! Beivide, *"Achieving High-Performance Fault-Tolerant Routing in HyperX
+//! Interconnection Networks"* (arXiv 2404.04315).
+//!
+//! Fault-free, FT-WAR routes exactly like OmniWAR: any unaligned dimension
+//! at any time, minimal or derouted, under distance-class deadlock
+//! avoidance (`VC_out = VC_in + 1`, N + M classes). The fault extension is
+//! *lazy*: routing only deviates at routers that are locally blocked, so
+//! the fault-free fast path pays nothing — the practicality argument of
+//! the source paper carried over to fault handling.
+//!
+//! When every port that makes progress is dead — the minimal port *and*
+//! all lateral coordinates of every unaligned dimension — the packet would
+//! stall under OmniWAR. FT-WAR instead **escapes through an aligned
+//! dimension**: it deroutes to any live coordinate of a dimension it has
+//! already aligned, reaching a router whose view of the faulty dimensions
+//! is different. The escape un-aligns a dimension, so it costs two extra
+//! hops (one to leave, one to come back) and is affordable only while
+//! `classes_left >= remaining + 1`. Because escapes ride the same
+//! strictly-incrementing distance classes as every other hop, the channel
+//! dependency graph stays acyclic — fault tolerance costs no extra VCs,
+//! only deroute budget.
+//!
+//! Like DimWAR and OmniWAR, no routing state lives in the packet: the hop
+//! index *is* the input VC class, and blockage is re-evaluated from the
+//! purely local live-port view at every hop.
+
+use std::sync::Arc;
+
+use hxtopo::HyperX;
+use rand::rngs::SmallRng;
+
+use crate::api::{Candidate, Commit, RouteCtx, RoutingAlgorithm};
+use crate::hyperx_common::HxBase;
+use crate::meta::{AlgoMeta, RoutingStyle};
+
+/// Fault-tolerant omni-dimensional weighted adaptive routing.
+pub struct FtWar {
+    base: HxBase,
+    /// Total distance classes (N + M).
+    classes: usize,
+}
+
+impl FtWar {
+    /// Creates FT-WAR with `num_vcs` VCs and `deroutes` allowed deroutes
+    /// (`M`); the class count is `dims + deroutes` and must fit in
+    /// `num_vcs`. Escapes through aligned dimensions draw from the same
+    /// deroute budget (an escape consumes two of it).
+    ///
+    /// # Panics
+    /// Panics if `dims + deroutes > num_vcs`.
+    pub fn new(hx: Arc<HyperX>, num_vcs: usize, deroutes: usize) -> Self {
+        let classes = hx.dims() + deroutes;
+        assert!(
+            classes <= num_vcs,
+            "N+M = {classes} distance classes cannot fit in {num_vcs} VCs"
+        );
+        FtWar {
+            base: HxBase::new(hx, num_vcs, classes),
+            classes,
+        }
+    }
+
+    /// Creates FT-WAR using every VC as a distance class, i.e.
+    /// `M = num_vcs - dims` deroutes — the deepest escape budget the VC
+    /// set affords.
+    pub fn max_deroutes(hx: Arc<HyperX>, num_vcs: usize) -> Self {
+        let dims = hx.dims();
+        assert!(num_vcs >= dims, "need at least one VC per dimension");
+        Self::new(hx, num_vcs, num_vcs - dims)
+    }
+
+    /// The number of deroutes this instance may take (`M`).
+    pub fn deroutes(&self) -> usize {
+        self.classes - self.base.hx.dims()
+    }
+}
+
+impl RoutingAlgorithm for FtWar {
+    fn name(&self) -> &'static str {
+        "FT-WAR"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn route(&self, ctx: &RouteCtx<'_>, _rng: &mut SmallRng, out: &mut Vec<Candidate>) {
+        let hx = &self.base.hx;
+        let cur = hx.coord_of(ctx.router);
+        let dst = hx.coord_of(ctx.dst_router);
+        let remaining = cur.unaligned_count(&dst);
+        debug_assert!(remaining > 0, "route() not called at destination");
+
+        // Distance class of the outgoing hop: 0 at the source router,
+        // input class + 1 afterwards.
+        let out_class = if ctx.from_terminal {
+            0
+        } else {
+            self.base.map.class_of(ctx.input_vc) + 1
+        };
+        debug_assert!(
+            out_class < self.classes,
+            "distance classes exhausted: the deroute guard was violated"
+        );
+        // Classes still available after this hop.
+        let classes_left = self.classes - 1 - out_class;
+        // In-dimension deroutes keep `remaining` unchanged, so they need a
+        // full `remaining` classes afterwards; minimal hops need
+        // remaining - 1.
+        let may_deroute = classes_left >= remaining;
+        debug_assert!(
+            classes_left >= remaining - 1,
+            "cannot even finish minimally"
+        );
+
+        // Back-to-back restriction (as in OmniWAR): arriving on a network
+        // channel of dimension d with d still unaligned implies the last
+        // hop was a deroute in d; don't deroute there again unless the
+        // minimal port is dead.
+        let blocked_dim = if !ctx.from_terminal {
+            hx.port_dim_target(ctx.router, ctx.input_port)
+                .map(|(d, _)| d)
+                .filter(|&d| !cur.aligned(&dst, d))
+        } else {
+            None
+        };
+
+        // Normal pass: exactly OmniWAR.
+        for d in 0..hx.dims() {
+            if cur.aligned(&dst, d) {
+                continue;
+            }
+            let min_port = hx.port_towards(ctx.router, d, dst.get(d));
+            let min_live = ctx.view.port_live(min_port);
+            if min_live {
+                out.push(self.base.candidate(
+                    ctx.view,
+                    min_port,
+                    out_class,
+                    remaining,
+                    Commit::None,
+                ));
+            }
+            if may_deroute && (blocked_dim != Some(d) || !min_live) {
+                for c in 0..hx.width(d) {
+                    if c == cur.get(d) || c == dst.get(d) {
+                        continue;
+                    }
+                    let port = hx.port_towards(ctx.router, d, c);
+                    if !ctx.view.port_live(port) {
+                        continue;
+                    }
+                    out.push(self.base.candidate(
+                        ctx.view,
+                        port,
+                        out_class,
+                        remaining + 1,
+                        Commit::None,
+                    ));
+                }
+            }
+        }
+
+        // Fault escape: only when the normal pass came up empty (every
+        // port making progress is dead) and the class budget can absorb
+        // un-aligning a dimension (the escape needs one class more than
+        // the remaining minimal hops). Any live lateral move in an
+        // aligned dimension qualifies — the weights then steer among
+        // escapes by congestion like any other candidate set.
+        if out.is_empty() && classes_left > remaining {
+            for d in 0..hx.dims() {
+                if !cur.aligned(&dst, d) {
+                    continue;
+                }
+                for c in 0..hx.width(d) {
+                    if c == cur.get(d) {
+                        continue;
+                    }
+                    let port = hx.port_towards(ctx.router, d, c);
+                    if !ctx.view.port_live(port) {
+                        continue;
+                    }
+                    out.push(self.base.candidate(
+                        ctx.view,
+                        port,
+                        out_class,
+                        remaining + 2,
+                        Commit::None,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn meta(&self) -> AlgoMeta {
+        AlgoMeta {
+            name: "FT-WAR",
+            dimension_ordered: false,
+            style: RoutingStyle::Incremental,
+            vcs_required: "N+M",
+            deadlock: "R.R. & D.C.",
+            arch_requirements: "none",
+            packet_contents: "none",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ClassMap, PacketRouteState, RouterView};
+    use crate::mock::MockView;
+    use hxtopo::{Coord, Topology};
+    use rand::SeedableRng;
+
+    fn make_ctx<'a>(
+        hx: &HyperX,
+        router: usize,
+        dst_router: usize,
+        from_terminal: bool,
+        input_port: usize,
+        input_vc: usize,
+        view: &'a dyn RouterView,
+    ) -> RouteCtx<'a> {
+        RouteCtx {
+            router,
+            input_port,
+            input_vc,
+            from_terminal,
+            dst_router,
+            dst_terminal: dst_router * hx.terms_per_router(),
+            pkt_len: 4,
+            state: PacketRouteState::default(),
+            view,
+        }
+    }
+
+    /// Kills every dimension-`d` port of `router`.
+    fn kill_dim(hx: &HyperX, view: &mut MockView, router: usize, d: usize) {
+        let cur = hx.coord_of(router);
+        for c in 0..hx.width(d) {
+            if c != cur.get(d) {
+                view.kill_port(hx.port_towards(router, d, c));
+            }
+        }
+    }
+
+    /// Fault-free, FT-WAR offers the same candidate set shape as OmniWAR:
+    /// per unaligned dimension one minimal hop plus all deroutes, class 0
+    /// from the terminal, and no aligned-dimension escapes.
+    #[test]
+    fn fault_free_matches_omniwar_shape() {
+        let hx = Arc::new(HyperX::uniform(3, 4, 2));
+        let algo = FtWar::max_deroutes(hx.clone(), 8);
+        let view = MockView::idle(hx.max_ports(), 8, 64);
+        let src = hx.router_at(&Coord::new(&[0, 0, 0]));
+        let dst = hx.router_at(&Coord::new(&[1, 2, 0]));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, true, 0, 0, &view),
+            &mut rng,
+            &mut out,
+        );
+        // 2 unaligned dims x (1 minimal + 2 deroutes); dim 2 aligned and
+        // untouched.
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|c| c.class == 0));
+        for c in &out {
+            let (d, _) = hx.port_dim_target(src, c.port as usize).unwrap();
+            assert_ne!(d, 2, "no escape through the aligned dimension");
+        }
+    }
+
+    /// With the last unaligned dimension completely severed at this
+    /// router, FT-WAR escapes laterally through an aligned dimension —
+    /// the candidates OmniWAR cannot offer.
+    #[test]
+    fn escapes_through_aligned_dimension_when_blocked() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 2));
+        let algo = FtWar::max_deroutes(hx.clone(), 8);
+        let mut view = MockView::idle(hx.max_ports(), 8, 64);
+        let src = hx.router_at(&Coord::new(&[0, 1]));
+        let dst = hx.router_at(&Coord::new(&[3, 1]));
+        // Sever all of dimension 0 at src: minimal and every deroute dead.
+        kill_dim(&hx, &mut view, src, 0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, true, 0, 0, &view),
+            &mut rng,
+            &mut out,
+        );
+        assert!(!out.is_empty(), "escape candidates must be offered");
+        for c in &out {
+            let (d, _) = hx.port_dim_target(src, c.port as usize).unwrap();
+            assert_eq!(d, 1, "escapes go through the aligned dimension");
+            // Un-aligning dim 1 costs two extra hops over minimal.
+            assert_eq!(c.hops, 3);
+        }
+        // Width 4: three lateral coordinates to escape to.
+        assert_eq!(out.len(), 3);
+    }
+
+    /// Escapes are a last resort: while any progress port lives, no
+    /// aligned-dimension candidate appears.
+    #[test]
+    fn no_escape_while_progress_possible() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 2));
+        let algo = FtWar::max_deroutes(hx.clone(), 8);
+        let mut view = MockView::idle(hx.max_ports(), 8, 64);
+        let src = hx.router_at(&Coord::new(&[0, 1]));
+        let dst = hx.router_at(&Coord::new(&[3, 1]));
+        // Kill the minimal port but leave one lateral dim-0 port alive.
+        view.kill_port(hx.port_towards(src, 0, 3));
+        view.kill_port(hx.port_towards(src, 0, 1));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, true, 0, 0, &view),
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "only the surviving in-dimension deroute");
+        let (d, to) = hx.port_dim_target(src, out[0].port as usize).unwrap();
+        assert_eq!((d, to), (0, 2));
+    }
+
+    /// An escape is affordable only while the class budget can pay the
+    /// two-hop detour: with exactly enough classes to finish minimally,
+    /// a blocked router offers nothing (the packet waits for revival or
+    /// the transport retransmits).
+    #[test]
+    fn escape_respects_class_budget() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 2));
+        // N + M = 2 + 1 = 3 classes: one deroute total.
+        let algo = FtWar::new(hx.clone(), 8, 1);
+        let mut view = MockView::idle(hx.max_ports(), 8, 64);
+        let map = ClassMap::new(8, 3);
+        let src = hx.router_at(&Coord::new(&[0, 1]));
+        let dst = hx.router_at(&Coord::new(&[3, 1]));
+        kill_dim(&hx, &mut view, src, 0);
+        // Arrived on class 0 via dim 1: next hop is class 1, leaving one
+        // class for one remaining hop — minimal only, escape (needing
+        // remaining + 1 = 2) unaffordable.
+        let in_port = hx.port_towards(src, 1, 0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, false, in_port, map.first_vc(0), &view),
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.is_empty(), "escape must respect the class budget");
+        // From the terminal (class 0, two classes left) the same blockage
+        // is escapable.
+        let mut out2 = Vec::new();
+        algo.route(
+            &make_ctx(&hx, src, dst, true, 0, 0, &view),
+            &mut rng,
+            &mut out2,
+        );
+        assert!(!out2.is_empty(), "budget allows the escape from class 0");
+    }
+
+    /// Walk the algorithm around a blocked router: the packet must reach
+    /// the destination within the N + M class budget, using an escape
+    /// where OmniWAR would stall. `MockView` is port-indexed (one
+    /// router's perspective), so the walk swaps views by router: the
+    /// source router sees its dimension-0 row severed, every other
+    /// router is healthy — a single-router fault, not a severed column.
+    #[test]
+    fn walk_routes_around_blocked_router() {
+        let hx = Arc::new(HyperX::uniform(2, 4, 1));
+        let algo = FtWar::max_deroutes(hx.clone(), 8);
+        let map = ClassMap::new(8, 8);
+        let src = hx.router_at(&Coord::new(&[0, 1]));
+        let dst = hx.router_at(&Coord::new(&[3, 1]));
+        let healthy = MockView::idle(hx.max_ports(), 8, 64);
+        let mut blocked = healthy.clone();
+        kill_dim(&hx, &mut blocked, src, 0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut cur = src;
+        let mut in_port = 0usize;
+        let mut vc = 0usize;
+        let mut first = true;
+        let mut hops = 0usize;
+        let mut escaped = false;
+        while cur != dst {
+            let view: &dyn RouterView = if cur == src { &blocked } else { &healthy };
+            let mut out = Vec::new();
+            algo.route(
+                &make_ctx(&hx, cur, dst, first, in_port, vc, view),
+                &mut rng,
+                &mut out,
+            );
+            assert!(!out.is_empty(), "stalled at router {cur} after {hops} hops");
+            // Deterministic greedy: cheapest (weight, hops, port).
+            let cand = out
+                .iter()
+                .min_by_key(|c| (c.weight, c.hops, c.port))
+                .copied()
+                .unwrap();
+            let (d, to) = hx.port_dim_target(cur, cand.port as usize).unwrap();
+            if hx.coord_of(cur).aligned(&hx.coord_of(dst), d) {
+                escaped = true;
+            }
+            let next = hx.router_at(&hx.coord_of(cur).with(d, to));
+            in_port = hx.port_towards(next, d, hx.coord_of(cur).get(d));
+            cur = next;
+            vc = map.first_vc(cand.class as usize);
+            first = false;
+            hops += 1;
+            assert!(hops <= 8, "exceeded the N+M distance-class budget");
+        }
+        assert!(escaped, "the walk had to use an aligned-dimension escape");
+    }
+}

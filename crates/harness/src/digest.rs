@@ -34,20 +34,29 @@ fn json_of<T: serde::Serialize>(v: &T) -> String {
 pub fn canonical_json(p: &Point) -> String {
     let sim: CanonicalSimConfig = p.sim.canonical();
     // Fault knobs only shape fault-kind runs; zero them for steady
-    // points so tuning [fault] never invalidates steady results.
-    let (fault_cycles, drain_factor) = if p.kind == Kind::Fault {
-        (p.fault.cycles, p.fault.drain_factor)
+    // points so tuning [fault] never invalidates steady results. (The
+    // retransmit axis needs no field of its own: it is mirrored into
+    // `sim.retransmit_timeout`, already inside the canonical config.)
+    let (fault_cycles, drain_factor, kill_cycle, revive_cycle) = if p.kind == Kind::Fault {
+        (
+            p.fault.cycles,
+            p.fault.drain_factor,
+            p.fault.kill_cycle,
+            p.fault.revive_cycle,
+        )
     } else {
-        (0, 0)
+        (0, 0, 0, 0)
     };
     format!(
         concat!(
             "{{\"schema_version\":{},\"workspace_version\":{},\"kind\":{},",
             "\"dims\":{},\"width\":{},\"terminals\":{},",
             "\"pattern\":{},\"algo\":{},\"load\":{},\"seed\":{},\"fails\":{},",
+            "\"router_fails\":{},",
             "\"sim\":{},\"warmup_window\":{},\"max_warmup_windows\":{},",
             "\"measure_cycles\":{},\"stability_tol\":{},",
-            "\"fault_cycles\":{},\"drain_factor\":{}}}"
+            "\"fault_cycles\":{},\"drain_factor\":{},",
+            "\"kill_cycle\":{},\"revive_cycle\":{}}}"
         ),
         hxsim::SCHEMA_VERSION,
         json_of(&WORKSPACE_VERSION.to_string()),
@@ -60,6 +69,7 @@ pub fn canonical_json(p: &Point) -> String {
         json_of(&p.load),
         p.seed,
         p.fails,
+        p.router_fails,
         json_of(&sim),
         p.steady.warmup_window,
         p.steady.max_warmup_windows,
@@ -67,6 +77,8 @@ pub fn canonical_json(p: &Point) -> String {
         json_of(&p.steady.stability_tol),
         fault_cycles,
         drain_factor,
+        kill_cycle,
+        revive_cycle,
     )
 }
 

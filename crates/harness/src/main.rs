@@ -188,6 +188,18 @@ fn cmd_sweep(cli: &Cli) -> Result<ExitCode, String> {
         );
         return Ok(ExitCode::FAILURE);
     }
+    if !report.failed.is_empty() {
+        eprintln!(
+            "sweep {}: {} point(s) FAILED (kind=\"failed\" rows in {}):",
+            spec.name,
+            report.failed.len(),
+            out.display()
+        );
+        for (i, msg) in &report.failed {
+            eprintln!("  point {i}: {msg}");
+        }
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }
 

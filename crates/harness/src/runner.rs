@@ -28,6 +28,9 @@ pub struct PointRow {
     pub algo: String,
     pub seed: u64,
     pub fails: usize,
+    pub router_fails: usize,
+    /// Retransmission timeout axis value (0 = transport off).
+    pub retransmit: u64,
     pub offered: f64,
     pub accepted: f64,
     pub mean_latency: f64,
@@ -42,6 +45,21 @@ pub struct PointRow {
     pub stranded_packets: u64,
     pub delivered_fraction: f64,
     pub wedged: bool,
+    /// Transport accounting; all zero when the transport is off.
+    pub logical_sent: u64,
+    pub logical_delivered: u64,
+    pub retransmits: u64,
+    pub duplicates_dropped: u64,
+    pub abandoned: u64,
+    pub recovered: u64,
+    pub recovery_p50: f64,
+    pub recovery_p99: f64,
+    /// Flits injected for retransmitted copies per delivered flit — the
+    /// bandwidth price of reliability.
+    pub goodput_overhead: f64,
+    /// Cycles from the fault strike to the last timeout-recovered
+    /// delivery (0 when nothing needed recovery).
+    pub time_to_recover: u64,
 }
 
 /// Runs `point` to completion and returns its serialized row (plus the
@@ -75,16 +93,32 @@ pub fn execute_point(
             point.steady,
         )),
         Kind::Fault => {
-            // The same seed picks the same dead cables for every
-            // algorithm, keeping comparisons apples-to-apples.
-            let faults = FaultSet::random_links(&*hx, point.fails, point.seed);
+            // The same seed picks the same dead cables and routers for
+            // every algorithm, keeping comparisons apples-to-apples; the
+            // router draw accounts for the link draw so the combined set
+            // keeps the surviving routers connected.
+            let mut faults = FaultSet::random_links(&*hx, point.fails, point.seed);
+            faults.extend_random_routers(&*hx, point.router_fails, point.seed);
+            let kill = point.fault.kill_cycle;
+            let revive = point.fault.revive_cycle;
             let mut schedule = FaultSchedule::new();
             for (r, p) in faults.links() {
-                schedule = schedule.kill_link_at(0, r, p);
+                schedule = schedule.kill_link_at(kill, r, p);
+                if revive > 0 {
+                    schedule = schedule.revive_link_at(revive, r, p);
+                }
+            }
+            for r in faults.routers() {
+                schedule = schedule.kill_router_at(kill, r);
+                if revive > 0 {
+                    schedule = schedule.revive_router_at(revive, r);
+                }
             }
             sim.set_fault_schedule(schedule);
             sim.run(&mut traffic, point.fault.cycles);
-            // Stop injecting and let survivors drain (ends early if wedged).
+            // Stop injecting and let survivors drain (ends early if
+            // wedged); the transport keeps retransmitting during the
+            // drain, so timed-out packets still recover here.
             sim.run(
                 &mut IdleWorkload,
                 point.fault.drain_factor * point.fault.cycles,
@@ -98,6 +132,17 @@ pub fn execute_point(
     let stranded = sim.pool.live() as u64;
     let attempted = delivered + dropped + stranded;
     let terminals = hx.num_terminals();
+    // With the transport on, delivery is judged logically: a packet
+    // counts once no matter how many physical copies raced, and a copy
+    // lost to a fault is recovered by retransmission rather than charged
+    // against the algorithm.
+    let transport = sim.transport_stats().map(|t| t.summary());
+    let delivered_fraction = match &transport {
+        Some(t) if t.logical_sent > 0 => t.logical_delivered as f64 / t.logical_sent as f64,
+        Some(_) => 1.0,
+        None if attempted == 0 => 1.0,
+        None => delivered as f64 / attempted as f64,
+    };
     let row = PointRow {
         digest: digest_hex(point_digest(point)),
         kind: point.kind.as_str(),
@@ -108,6 +153,8 @@ pub fn execute_point(
         algo: point.algo.clone(),
         seed: point.seed,
         fails: point.fails,
+        router_fails: point.router_fails,
+        retransmit: point.retransmit,
         offered: point.load,
         accepted: match &steady {
             Some(p) => p.accepted,
@@ -143,12 +190,26 @@ pub fn execute_point(
         delivered_packets: delivered,
         dropped_packets: dropped,
         stranded_packets: stranded,
-        delivered_fraction: if attempted == 0 {
-            1.0
-        } else {
-            delivered as f64 / attempted as f64
-        },
+        delivered_fraction,
         wedged: sim.watchdog_report().is_some(),
+        logical_sent: transport.as_ref().map_or(0, |t| t.logical_sent),
+        logical_delivered: transport.as_ref().map_or(0, |t| t.logical_delivered),
+        retransmits: transport.as_ref().map_or(0, |t| t.retransmits),
+        duplicates_dropped: transport.as_ref().map_or(0, |t| t.duplicates_dropped),
+        abandoned: transport.as_ref().map_or(0, |t| t.abandoned),
+        recovered: transport.as_ref().map_or(0, |t| t.recovered),
+        recovery_p50: transport.as_ref().map_or(0.0, |t| t.recovery_p50),
+        recovery_p99: transport.as_ref().map_or(0.0, |t| t.recovery_p99),
+        goodput_overhead: transport.as_ref().map_or(0.0, |t| {
+            t.retransmitted_flits as f64 / sim.stats.total_delivered_flits.max(1) as f64
+        }),
+        time_to_recover: transport.as_ref().map_or(0, |t| {
+            if t.recovered > 0 {
+                t.last_recovery_cycle.saturating_sub(point.fault.kill_cycle)
+            } else {
+                0
+            }
+        }),
     };
     let summary = sim.metrics().map(|m| m.summary());
     (hxsim::versioned_json_row(&row), summary)

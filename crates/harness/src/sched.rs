@@ -11,6 +11,7 @@
 
 use std::collections::HashSet;
 use std::io::Write;
+use std::panic::AssertUnwindSafe;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -20,7 +21,7 @@ use parking_lot::Mutex;
 
 use crate::digest::{digest_hex, point_digest};
 use crate::runner::execute_point;
-use crate::spec::ExperimentSpec;
+use crate::spec::{ExperimentSpec, Point};
 use crate::store::{Store, StoreMeta};
 
 /// Execution options for [`run_sweep`].
@@ -65,6 +66,51 @@ pub struct SweepReport {
     pub metrics: Vec<(usize, MetricsSummary)>,
     /// Whether every point completed.
     pub complete: bool,
+    /// Points whose execution panicked: `(spec index, description)`. The
+    /// sweep keeps running past a panic — the point's slot is filled with
+    /// a `kind = "failed"` row (so the in-order commit frontier advances
+    /// and every other result is preserved) and nothing is cached for it.
+    pub failed: Vec<(usize, String)>,
+}
+
+/// The merged-output row a panicking point leaves behind.
+#[derive(serde::Serialize)]
+struct FailedRow {
+    kind: &'static str,
+    digest: String,
+    pattern: String,
+    algo: String,
+    seed: u64,
+    fails: u64,
+    router_fails: u64,
+    retransmit: u64,
+    offered: f64,
+    error: String,
+}
+
+fn failed_row(point: &Point, digest: u64, error: &str) -> String {
+    hxsim::versioned_json_row(&FailedRow {
+        kind: "failed",
+        digest: digest_hex(digest),
+        pattern: point.pattern.clone(),
+        algo: point.algo.clone(),
+        seed: point.seed,
+        fails: point.fails as u64,
+        router_fails: point.router_fails as u64,
+        retransmit: point.retransmit,
+        offered: point.load,
+        error: error.to_string(),
+    })
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs every point of `spec`: cached points are answered from `store`,
@@ -132,6 +178,7 @@ pub fn run_sweep(
     let metrics_acc: Mutex<Vec<(usize, MetricsSummary)>> = Mutex::new(Vec::new());
     let executed = AtomicUsize::new(0);
     let failure: Mutex<Option<String>> = Mutex::new(None);
+    let failed_points: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
 
     crossbeam::scope(|s| {
         for _ in 0..workers {
@@ -150,8 +197,48 @@ pub fn run_sweep(
                 let i = todo[slot];
                 let point = &points[i];
                 let t0 = Instant::now();
-                let (row, summary) = execute_point(point, tick_threads, opts.metrics);
+                // A panicking point must not take the whole sweep (and
+                // every completed-but-uncommitted row) down with it: catch
+                // it, record the point as failed, and keep the pool going.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(test)]
+                    if std::env::var("HX_TEST_PANIC_ALGO").as_deref() == Ok(point.algo.as_str()) {
+                        panic!("injected test panic for {}", point.algo);
+                    }
+                    execute_point(point, tick_threads, opts.metrics)
+                }));
                 let elapsed_ms = t0.elapsed().as_millis() as u64;
+                let (row, summary) = match result {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let msg = panic_message(&*e);
+                        eprintln!(
+                            "sweep {}: point {}/{} load {:.3} seed {} FAILED: {msg}",
+                            spec.name, point.pattern, point.algo, point.load, point.seed
+                        );
+                        failed_points.lock().push((
+                            i,
+                            format!(
+                                "{}/{} load {:.3} seed {} fails {} router_fails {}: {msg}",
+                                point.pattern,
+                                point.algo,
+                                point.load,
+                                point.seed,
+                                point.fails,
+                                point.router_fails
+                            ),
+                        ));
+                        // Fill the slot so later rows still commit; never
+                        // cache a failure.
+                        let mut st = state.lock();
+                        st.fill(i, failed_row(point, digests[i], &msg));
+                        if let Err(e) = st.drain() {
+                            *failure.lock() = Some(e);
+                            break;
+                        }
+                        continue;
+                    }
+                };
                 executed.fetch_add(1, Ordering::Relaxed);
                 if let Some(sum) = summary {
                     metrics_acc.lock().push((i, sum));
@@ -221,6 +308,8 @@ pub fn run_sweep(
             if complete { "" } else { " (interrupted)" },
         );
     }
+    let mut failed = failed_points.into_inner();
+    failed.sort_by_key(|(i, _)| *i);
     Ok(SweepReport {
         total: points.len(),
         cached,
@@ -228,6 +317,7 @@ pub fn run_sweep(
         rows,
         metrics,
         complete,
+        failed,
     })
 }
 
@@ -288,5 +378,56 @@ impl Committer {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::parse_toml;
+
+    // No other unit test in this binary calls run_sweep, so the
+    // process-global HX_TEST_PANIC_ALGO hook cannot leak into a
+    // concurrently running test. (Integration tests link the non-test
+    // lib, where the hook does not exist at all.)
+    const SPEC: &str = r#"
+[experiment]
+name = "panics"
+[network]
+dims = 2
+width = 2
+terminals = 1
+[axes]
+pattern = ["UR"]
+algo = ["DOR", "DimWAR"]
+load = [0.1]
+seed = [1]
+[steady]
+warmup_window = 64
+max_warmup_windows = 2
+measure_cycles = 64
+"#;
+
+    #[test]
+    fn panicking_point_degrades_gracefully() {
+        let spec = ExperimentSpec::from_value(&parse_toml(SPEC).unwrap()).unwrap();
+        std::env::set_var("HX_TEST_PANIC_ALGO", "DOR");
+        let report = run_sweep(&spec, None, None, &SweepOpts::default()).unwrap();
+        std::env::remove_var("HX_TEST_PANIC_ALGO");
+
+        assert_eq!(report.total, 2);
+        assert!(report.complete, "sweep must run past the panic");
+        assert_eq!(report.rows.len(), 2, "frontier advanced past the failure");
+        assert_eq!(
+            report.executed, 1,
+            "the panicking point must not count as executed"
+        );
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, 0, "DOR expands before DimWAR");
+        assert!(report.failed[0].1.contains("DOR"));
+        assert!(report.rows[0].contains("\"kind\":\"failed\""));
+        assert!(report.rows[0].contains("injected test panic"));
+        assert!(report.rows[1].contains("\"algo\":\"DimWAR\""));
+        assert!(report.rows[1].contains("\"kind\":\"steady\""));
     }
 }

@@ -31,9 +31,9 @@
 //! ```
 //!
 //! [`ExperimentSpec::expand`] produces the cartesian product of the axes
-//! in a fixed canonical order (pattern, algo, load, fails; seed
-//! innermost), each point carrying its fully resolved configuration —
-//! the unit the scheduler executes and the store hashes.
+//! in a fixed canonical order (pattern, algo, load, fails, router_fails,
+//! retransmit; seed innermost), each point carrying its fully resolved
+//! configuration — the unit the scheduler executes and the store hashes.
 
 use std::collections::BTreeMap;
 
@@ -83,6 +83,14 @@ pub struct FaultProtocol {
     pub cycles: u64,
     /// Drain window as a multiple of `cycles`.
     pub drain_factor: u64,
+    /// Cycle the scheduled faults strike (must lie inside the injection
+    /// window; 0 = faults present from the start, the legacy protocol).
+    pub kill_cycle: u64,
+    /// Cycle the failed components come back (0 = never revived). When
+    /// set, it must come after `kill_cycle`; revival during the drain
+    /// window (`revive_cycle > cycles`) is allowed — stranded packets
+    /// then recover while no new traffic is offered.
+    pub revive_cycle: u64,
 }
 
 impl Default for FaultProtocol {
@@ -90,6 +98,8 @@ impl Default for FaultProtocol {
         FaultProtocol {
             cycles: 10_000,
             drain_factor: 4,
+            kill_cycle: 0,
+            revive_cycle: 0,
         }
     }
 }
@@ -102,6 +112,12 @@ pub struct Axes {
     pub loads: Vec<f64>,
     pub seeds: Vec<u64>,
     pub fails: Vec<usize>,
+    /// Whole routers to kill per point (`kind = "fault"` only).
+    pub router_fails: Vec<usize>,
+    /// Source-retransmission timeout in cycles, 0 = transport off
+    /// (`kind = "fault"` only); the value lands in
+    /// `sim.retransmit_timeout`.
+    pub retransmit: Vec<u64>,
 }
 
 /// A conditional patch: when every `when` entry matches a point's axis
@@ -138,6 +154,10 @@ pub struct Point {
     pub load: f64,
     pub seed: u64,
     pub fails: usize,
+    pub router_fails: usize,
+    /// Retransmission timeout axis value (mirrored into
+    /// `sim.retransmit_timeout`; 0 = transport off).
+    pub retransmit: u64,
     pub sim: SimConfig,
     pub steady: SteadyOpts,
     pub fault: FaultProtocol,
@@ -234,7 +254,15 @@ impl ExperimentSpec {
             .ok_or("missing [axes] table")?;
         check_keys(
             axes_t,
-            &["pattern", "algo", "load", "seed", "fails"],
+            &[
+                "pattern",
+                "algo",
+                "load",
+                "seed",
+                "fails",
+                "router_fails",
+                "retransmit",
+            ],
             "[axes]",
         )?;
         let axes = Axes {
@@ -246,6 +274,11 @@ impl ExperimentSpec {
                 .into_iter()
                 .map(|s| s as usize)
                 .collect(),
+            router_fails: int_axis(axes_t, "router_fails", &[0])?
+                .into_iter()
+                .map(|s| s as usize)
+                .collect(),
+            retransmit: int_axis(axes_t, "retransmit", &[0])?,
         };
 
         let mut sim = SimConfig {
@@ -266,7 +299,11 @@ impl ExperimentSpec {
         let mut fault = FaultProtocol::default();
         if let Some(t) = v.get("fault") {
             let t = t.as_table().ok_or("[fault] must be a table")?;
-            check_keys(t, &["cycles", "drain_factor"], "[fault]")?;
+            check_keys(
+                t,
+                &["cycles", "drain_factor", "kill_cycle", "revive_cycle"],
+                "[fault]",
+            )?;
             if let Some(c) = t.get("cycles") {
                 fault.cycles = c
                     .as_i64()
@@ -278,6 +315,30 @@ impl ExperimentSpec {
                     d.as_i64()
                         .filter(|&d| d > 0)
                         .ok_or("fault.drain_factor must be > 0")? as u64;
+            }
+            if let Some(k) = t.get("kill_cycle") {
+                fault.kill_cycle =
+                    k.as_i64()
+                        .filter(|&k| k >= 0)
+                        .ok_or("fault.kill_cycle must be >= 0")? as u64;
+            }
+            if let Some(r) = t.get("revive_cycle") {
+                fault.revive_cycle =
+                    r.as_i64()
+                        .filter(|&r| r >= 0)
+                        .ok_or("fault.revive_cycle must be >= 0")? as u64;
+            }
+            if fault.kill_cycle >= fault.cycles {
+                return Err(format!(
+                    "fault.kill_cycle {} must lie inside the injection window ({} cycles)",
+                    fault.kill_cycle, fault.cycles
+                ));
+            }
+            if fault.revive_cycle != 0 && fault.revive_cycle <= fault.kill_cycle {
+                return Err(format!(
+                    "fault.revive_cycle {} must come after kill_cycle {}",
+                    fault.revive_cycle, fault.kill_cycle
+                ));
             }
         }
 
@@ -297,7 +358,15 @@ impl ExperimentSpec {
                     .ok_or_else(|| format!("override[{i}] needs a `when` table"))?;
                 check_keys(
                     when,
-                    &["pattern", "algo", "load", "seed", "fails"],
+                    &[
+                        "pattern",
+                        "algo",
+                        "load",
+                        "seed",
+                        "fails",
+                        "router_fails",
+                        "retransmit",
+                    ],
                     &format!("override[{i}].when"),
                 )?;
                 let sim_patch = t
@@ -337,8 +406,17 @@ impl ExperimentSpec {
         if self.axes.patterns.is_empty() || self.axes.algos.is_empty() {
             return Err("axes.pattern and axes.algo must be non-empty".into());
         }
-        if self.axes.loads.is_empty() || self.axes.seeds.is_empty() || self.axes.fails.is_empty() {
-            return Err("axes.load, axes.seed, axes.fails must be non-empty".into());
+        if self.axes.loads.is_empty()
+            || self.axes.seeds.is_empty()
+            || self.axes.fails.is_empty()
+            || self.axes.router_fails.is_empty()
+            || self.axes.retransmit.is_empty()
+        {
+            return Err(
+                "axes.load, axes.seed, axes.fails, axes.router_fails, axes.retransmit \
+                 must be non-empty"
+                    .into(),
+            );
         }
         for &l in &self.axes.loads {
             if !(l > 0.0 && l <= 1.0) {
@@ -349,7 +427,9 @@ impl ExperimentSpec {
             * self.axes.algos.len()
             * self.axes.loads.len()
             * self.axes.seeds.len()
-            * self.axes.fails.len();
+            * self.axes.fails.len()
+            * self.axes.router_fails.len()
+            * self.axes.retransmit.len();
         if n > 1_000_000 {
             return Err(format!("spec expands to {n} points (limit 1,000,000)"));
         }
@@ -370,9 +450,21 @@ impl ExperimentSpec {
                 ));
             }
         }
-        if self.kind == Kind::Steady && self.axes.fails.iter().any(|&f| f != 0) {
+        if self.kind == Kind::Steady
+            && (self.axes.fails.iter().any(|&f| f != 0)
+                || self.axes.router_fails.iter().any(|&f| f != 0))
+        {
             return Err(
-                "steady-state specs must keep axes.fails = [0] (use kind = \"fault\")".into(),
+                "steady-state specs must keep axes.fails and axes.router_fails = [0] \
+                 (use kind = \"fault\")"
+                    .into(),
+            );
+        }
+        if self.kind == Kind::Steady && self.axes.retransmit.iter().any(|&t| t != 0) {
+            return Err(
+                "steady-state specs must keep axes.retransmit = [0]: the warm-up protocol \
+                 measures raw network throughput, not transport goodput"
+                    .into(),
             );
         }
         // validate() panics on inconsistency; run it on every resolved
@@ -384,6 +476,9 @@ impl ExperimentSpec {
                 || c.max_packet_flits < 1
                 || c.watchdog_stall_cycles <= c.router_chan_latency
                 || c.max_packet_hops < 1
+                || (c.retransmit_timeout > 0
+                    && c.retransmit_backoff_cap != 0
+                    && c.retransmit_backoff_cap < c.retransmit_timeout)
             {
                 return Err(format!(
                     "point {}/{} load {} seed {} fails {}: inconsistent sim config {c:?}",
@@ -395,33 +490,52 @@ impl ExperimentSpec {
     }
 
     /// Expands the axes into the full point list, in canonical order:
-    /// pattern, then algo, then load, then fails, with seed innermost.
+    /// pattern, then algo, then load, then fails, then router_fails, then
+    /// retransmit, with seed innermost.
     pub fn expand(&self) -> Vec<Point> {
         let mut points = Vec::new();
         for pattern in &self.axes.patterns {
             for algo in &self.axes.algos {
                 for &load in &self.axes.loads {
                     for &fails in &self.axes.fails {
-                        for &seed in &self.axes.seeds {
-                            let mut sim = self.sim;
-                            for o in &self.overrides {
-                                if override_matches(o, pattern, algo, load, seed, fails) {
-                                    apply_sim_overrides(&mut sim, &o.sim)
-                                        .expect("override validated at load time");
+                        for &router_fails in &self.axes.router_fails {
+                            for &retransmit in &self.axes.retransmit {
+                                for &seed in &self.axes.seeds {
+                                    let mut sim = self.sim;
+                                    // The axis value is the timeout; overrides
+                                    // below may still refine budget and cap.
+                                    sim.retransmit_timeout = retransmit;
+                                    for o in &self.overrides {
+                                        if override_matches(
+                                            o,
+                                            pattern,
+                                            algo,
+                                            load,
+                                            seed,
+                                            fails,
+                                            router_fails,
+                                            retransmit,
+                                        ) {
+                                            apply_sim_overrides(&mut sim, &o.sim)
+                                                .expect("override validated at load time");
+                                        }
+                                    }
+                                    points.push(Point {
+                                        kind: self.kind,
+                                        network: self.network,
+                                        pattern: pattern.clone(),
+                                        algo: algo.clone(),
+                                        load,
+                                        seed,
+                                        fails,
+                                        router_fails,
+                                        retransmit,
+                                        sim,
+                                        steady: self.steady,
+                                        fault: self.fault,
+                                    });
                                 }
                             }
-                            points.push(Point {
-                                kind: self.kind,
-                                network: self.network,
-                                pattern: pattern.clone(),
-                                algo: algo.clone(),
-                                load,
-                                seed,
-                                fails,
-                                sim,
-                                steady: self.steady,
-                                fault: self.fault,
-                            });
                         }
                     }
                 }
@@ -431,6 +545,7 @@ impl ExperimentSpec {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn override_matches(
     o: &Override,
     pattern: &str,
@@ -438,6 +553,8 @@ fn override_matches(
     load: f64,
     seed: u64,
     fails: usize,
+    router_fails: usize,
+    retransmit: u64,
 ) -> bool {
     o.when.iter().all(|(k, v)| match k.as_str() {
         "pattern" => v.as_str() == Some(pattern),
@@ -445,6 +562,8 @@ fn override_matches(
         "load" => v.as_f64().is_some_and(|w| (w - load).abs() < 1e-9),
         "seed" => v.as_i64() == Some(seed as i64),
         "fails" => v.as_i64() == Some(fails as i64),
+        "router_fails" => v.as_i64() == Some(router_fails as i64),
+        "retransmit" => v.as_i64() == Some(retransmit as i64),
         _ => false,
     })
 }
@@ -568,6 +687,9 @@ pub fn apply_sim_overrides(cfg: &mut SimConfig, t: &BTreeMap<String, Value>) -> 
             }
             "watchdog_stall_cycles" => cfg.watchdog_stall_cycles = int()? as u64,
             "max_packet_hops" => cfg.max_packet_hops = int()? as u8,
+            "retransmit_timeout" => cfg.retransmit_timeout = int()? as u64,
+            "retransmit_max_retries" => cfg.retransmit_max_retries = int()? as u32,
+            "retransmit_backoff_cap" => cfg.retransmit_backoff_cap = int()? as u64,
             other => {
                 return Err(format!(
                     "unknown [sim] key {other:?} (tick_threads is an execution \
@@ -693,6 +815,45 @@ seed = [1, 2]
     #[test]
     fn steady_spec_rejects_fails_axis() {
         assert!(spec(&BASE.replace("seed = [1, 2]", "seed = [1]\nfails = [1]")).is_err());
+        assert!(spec(&BASE.replace("seed = [1, 2]", "seed = [1]\nrouter_fails = [1]")).is_err());
+        assert!(spec(&BASE.replace("seed = [1, 2]", "seed = [1]\nretransmit = [64]")).is_err());
+    }
+
+    #[test]
+    fn retransmit_axis_lands_in_sim_config() {
+        let s = spec(
+            &BASE
+                .replace("kind = \"steady\"", "kind = \"fault\"")
+                .replace("seed = [1, 2]", "seed = [1]\nretransmit = [0, 64]"),
+        )
+        .unwrap();
+        let pts = s.expand();
+        assert_eq!(pts.len(), 2 * 2 * 2);
+        for p in &pts {
+            assert_eq!(p.sim.retransmit_timeout, p.retransmit);
+        }
+        assert!(pts.iter().any(|p| p.retransmit == 64));
+    }
+
+    #[test]
+    fn fault_kill_revive_cycles_validated() {
+        let fault_base = BASE.replace("kind = \"steady\"", "kind = \"fault\"");
+        let ok = spec(&format!(
+            "{fault_base}\n[fault]\ncycles = 100\nkill_cycle = 10\nrevive_cycle = 50\n"
+        ))
+        .unwrap();
+        assert_eq!(ok.fault.kill_cycle, 10);
+        assert_eq!(ok.fault.revive_cycle, 50);
+        // Kill outside the injection window.
+        assert!(spec(&format!(
+            "{fault_base}\n[fault]\ncycles = 100\nkill_cycle = 100\n"
+        ))
+        .is_err());
+        // Revive before kill.
+        assert!(spec(&format!(
+            "{fault_base}\n[fault]\ncycles = 100\nkill_cycle = 50\nrevive_cycle = 40\n"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -73,11 +73,25 @@ impl Store {
     /// the point has not been computed (or the entry is unreadable /
     /// from an incompatible schema — both count as misses, never errors:
     /// the sweep recomputes and overwrites).
+    ///
+    /// A *corrupt* entry — truncated to fewer than two lines, or holding
+    /// lines that are not valid JSON (a crash or disk fault mid-write,
+    /// which the atomic-rename protocol should make impossible but a
+    /// hostile filesystem can still produce) — is quarantined: renamed to
+    /// `.corrupt.<digest>.json` with a warning, so the point recomputes
+    /// and the evidence survives for inspection until `hx gc` sweeps it.
+    /// Entries from an *incompatible schema* are whole and healthy, just
+    /// stale — they miss silently without quarantine.
     pub fn lookup(&self, digest: u64) -> Option<String> {
         let content = std::fs::read_to_string(self.path_for(digest)).ok()?;
         let mut lines = content.lines();
-        let meta = lines.next()?;
-        let row = lines.next()?;
+        let (meta, row) = match (lines.next(), lines.next()) {
+            (Some(m), Some(r)) if parse_json(m).is_ok() && parse_json(r).is_ok() => (m, r),
+            _ => {
+                self.quarantine(digest);
+                return None;
+            }
+        };
         // The version must be followed by a delimiter so e.g. version 10
         // cannot satisfy a version-1 prefix check.
         let v = hxsim::SCHEMA_VERSION;
@@ -89,6 +103,27 @@ impl Store {
             return None;
         }
         Some(row.to_string())
+    }
+
+    /// Moves a corrupt entry aside so the sweep recomputes the point. A
+    /// failed rename falls back to leaving the file in place — the lookup
+    /// still misses, it just warns again next time.
+    fn quarantine(&self, digest: u64) {
+        let from = self.path_for(digest);
+        let to = self
+            .dir
+            .join(format!(".corrupt.{}.json", digest_hex(digest)));
+        match std::fs::rename(&from, &to) {
+            Ok(()) => eprintln!(
+                "warning: corrupt store entry {} quarantined as {} (recomputing; `hx gc` removes it)",
+                from.display(),
+                to.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: corrupt store entry {} could not be quarantined ({e}); recomputing",
+                from.display()
+            ),
+        }
     }
 
     /// Atomically writes an entry: meta row + verbatim result row.
@@ -159,10 +194,13 @@ impl Store {
                 }
             }
         }
-        // Leftover temp files from killed sweeps are always garbage.
+        // Leftover temp files from killed sweeps and quarantined corrupt
+        // entries are always garbage.
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
-            if entry.file_name().to_string_lossy().starts_with(".tmp.") && !dry_run {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if (name.starts_with(".tmp.") || name.starts_with(".corrupt.")) && !dry_run {
                 std::fs::remove_file(entry.path()).ok();
             }
         }
@@ -217,6 +255,69 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.lookup(7), None);
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    fn corrupt_files(s: &Store) -> Vec<String> {
+        std::fs::read_dir(s.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".corrupt."))
+            .collect()
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_and_recomputable() {
+        let s = tmp_store("truncated");
+        let path = s.dir().join(format!("{}.json", digest_hex(9)));
+        // Only the meta line survived a simulated mid-write crash.
+        std::fs::write(&path, "{\"schema_version\":1,\"kind\":\"store_meta\"}\n").unwrap();
+        assert_eq!(s.lookup(9), None, "truncated entry must miss");
+        assert!(!path.exists(), "corrupt entry must be moved aside");
+        assert_eq!(corrupt_files(&s).len(), 1);
+        // The slot is free again: a recomputed insert round-trips.
+        let row = format!("{{\"schema_version\":{}}}", hxsim::SCHEMA_VERSION);
+        s.insert(9, &meta("t", 9), &row).unwrap();
+        assert_eq!(s.lookup(9).as_deref(), Some(row.as_str()));
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn unparseable_entry_is_quarantined_but_stale_schema_is_not() {
+        let s = tmp_store("garbage");
+        let path = s.dir().join(format!("{}.json", digest_hex(11)));
+        std::fs::write(&path, "{\"schema_version\":1,\"acc\nnot json at all\n").unwrap();
+        assert_eq!(s.lookup(11), None);
+        assert!(!path.exists());
+        assert_eq!(corrupt_files(&s).len(), 1);
+        // A whole entry from an old schema is healthy — miss, no rename.
+        let stale = s.dir().join(format!("{}.json", digest_hex(12)));
+        std::fs::write(
+            &stale,
+            "{\"schema_version\":999}\n{\"schema_version\":999}\n",
+        )
+        .unwrap();
+        assert_eq!(s.lookup(12), None);
+        assert!(stale.exists(), "stale schema must not be quarantined");
+        assert_eq!(corrupt_files(&s).len(), 1);
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn gc_sweeps_quarantined_files() {
+        let s = tmp_store("gc_corrupt");
+        s.insert(1, &meta("t", 1), "{\"schema_version\":1}")
+            .unwrap();
+        let path = s.dir().join(format!("{}.json", digest_hex(2)));
+        std::fs::write(&path, "half a li").unwrap();
+        assert_eq!(s.lookup(2), None);
+        assert_eq!(corrupt_files(&s).len(), 1);
+        let keep: HashSet<u64> = [1u64].into_iter().collect();
+        s.gc(&keep, true).unwrap();
+        assert_eq!(corrupt_files(&s).len(), 1, "dry run must not delete");
+        s.gc(&keep, false).unwrap();
+        assert!(corrupt_files(&s).is_empty());
+        assert!(s.lookup(1).is_some());
         std::fs::remove_dir_all(s.dir()).ok();
     }
 

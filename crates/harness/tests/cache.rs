@@ -29,6 +29,8 @@ fn tiny_spec() -> ExperimentSpec {
             loads: vec![0.1, 0.2],
             seeds: vec![1],
             fails: vec![0],
+            router_fails: vec![0],
+            retransmit: vec![0],
         },
         sim: SimConfig {
             tick_threads: 1,
@@ -217,6 +219,15 @@ fn committed_spec_files_load_and_expand() {
 
     let fault = ExperimentSpec::load(&format!("{root}/experiments/fault_resilience.toml")).unwrap();
     assert_eq!(fault.kind, Kind::Fault);
-    assert_eq!(fault.expand().len(), 3 * 3 * 5);
+    assert_eq!(fault.expand().len(), 4 * 3 * 5 * 2 * 2);
     assert_eq!(fault.sim.watchdog_stall_cycles, 2_000);
+    assert_eq!(fault.fault.kill_cycle, 1_000);
+    assert_eq!(fault.fault.revive_cycle, 5_000);
+
+    let recovery =
+        ExperimentSpec::load(&format!("{root}/experiments/fault_recovery_reduced.toml")).unwrap();
+    assert_eq!(recovery.kind, Kind::Fault);
+    assert_eq!(recovery.expand().len(), 3);
+    let p = &recovery.expand()[0];
+    assert!(p.fails >= 2 && p.router_fails >= 1 && p.retransmit > 0);
 }

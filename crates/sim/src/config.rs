@@ -55,6 +55,19 @@ pub struct SimConfig {
     /// Legitimate paths are bounded by `dims + deroutes`, so the generous
     /// default only catches true routing livelock.
     pub max_packet_hops: u8,
+    /// Source retransmission: cycles a packet may remain undelivered
+    /// before its source terminal re-sends it. 0 (the default) disables
+    /// the transport entirely. When enabled, attempt `k` waits
+    /// `retransmit_timeout << k` cycles (capped by
+    /// `retransmit_backoff_cap`) and the receiver side suppresses
+    /// duplicate deliveries by (source, sequence) tracking.
+    pub retransmit_timeout: u64,
+    /// Source retransmission: retries allowed per packet before the
+    /// transport abandons it (counted in `TransportStats::abandoned`).
+    pub retransmit_max_retries: u32,
+    /// Source retransmission: upper bound on the exponential backoff
+    /// interval, in cycles. 0 means `8 x retransmit_timeout`.
+    pub retransmit_backoff_cap: u64,
     /// Threads used for the per-cycle compute phase (routers and terminals
     /// sharded across a persistent worker pool). Results are bit-identical
     /// for every value; 1 (the default) runs fully serial. The default can
@@ -77,6 +90,9 @@ impl Default for SimConfig {
             atomic_queue_alloc: false,
             watchdog_stall_cycles: 10_000,
             max_packet_hops: 64,
+            retransmit_timeout: 0,
+            retransmit_max_retries: 16,
+            retransmit_backoff_cap: 0,
             tick_threads: default_tick_threads(),
         }
     }
@@ -111,6 +127,9 @@ pub struct CanonicalSimConfig {
     pub atomic_queue_alloc: bool,
     pub watchdog_stall_cycles: u64,
     pub max_packet_hops: u8,
+    pub retransmit_timeout: u64,
+    pub retransmit_max_retries: u32,
+    pub retransmit_backoff_cap: u64,
 }
 
 impl SimConfig {
@@ -130,6 +149,9 @@ impl SimConfig {
             atomic_queue_alloc: self.atomic_queue_alloc,
             watchdog_stall_cycles: self.watchdog_stall_cycles,
             max_packet_hops: self.max_packet_hops,
+            retransmit_timeout: self.retransmit_timeout,
+            retransmit_max_retries: self.retransmit_max_retries,
+            retransmit_backoff_cap: self.retransmit_backoff_cap,
         }
     }
 
@@ -148,6 +170,29 @@ impl SimConfig {
             "watchdog window must exceed the longest channel latency"
         );
         assert!(self.max_packet_hops >= 1);
+        if self.retransmit_timeout > 0 {
+            assert!(
+                self.retransmit_backoff_cap == 0
+                    || self.retransmit_backoff_cap >= self.retransmit_timeout,
+                "retransmit_backoff_cap ({}) must be 0 (auto) or >= retransmit_timeout ({})",
+                self.retransmit_backoff_cap,
+                self.retransmit_timeout
+            );
+        }
+    }
+
+    /// Whether the source-retransmission transport is enabled.
+    pub fn retransmit_enabled(&self) -> bool {
+        self.retransmit_timeout > 0
+    }
+
+    /// The effective backoff cap in cycles (resolves the 0 = auto default).
+    pub fn effective_backoff_cap(&self) -> u64 {
+        if self.retransmit_backoff_cap == 0 {
+            self.retransmit_timeout.saturating_mul(8)
+        } else {
+            self.retransmit_backoff_cap
+        }
     }
 
     /// Approximate credit round-trip latency in cycles for a

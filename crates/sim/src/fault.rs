@@ -1,14 +1,17 @@
 //! Runtime fault injection and watchdog diagnostics.
 //!
-//! A [`FaultSchedule`] kills and revives router-to-router links at given
-//! cycles while a simulation runs. Killing a link drops everything in
-//! flight on the wire and *poisons* every packet that was committed to or
-//! partially received across it; poisoned packets drain out of the network
-//! (their flits are discarded wherever they surface, with credits
-//! restored), are counted in `Stats::dropped_flits` /
+//! A [`FaultSchedule`] kills and revives router-to-router links — or whole
+//! routers — at given cycles while a simulation runs. Killing a link drops
+//! everything in flight on the wire and *poisons* every packet that was
+//! committed to or partially received across it; poisoned packets drain
+//! out of the network (their flits are discarded wherever they surface,
+//! with credits restored), are counted in `Stats::dropped_flits` /
 //! `Stats::dropped_packets`, and leave [`DropRecord`]s in an attached
 //! trace. Reviving a link rebuilds the sender's credit state from the
-//! receiver's actual buffer occupancy.
+//! receiver's actual buffer occupancy. Killing a router atomically applies
+//! the link-kill treatment to every router-to-router cable attached to it
+//! (terminal links stay wired, matching `DegradedTopology` semantics);
+//! reviving a router brings all of its cables back up.
 //!
 //! The watchdog complements fault injection: when no flit moves anywhere
 //! for a configured number of cycles while packets are live, the
@@ -27,6 +30,13 @@ pub enum FaultAction {
     KillLink { router: usize, port: usize },
     /// Revive a previously killed link.
     ReviveLink { router: usize, port: usize },
+    /// Kill every router-to-router link of `router` at once. Terminal
+    /// links stay wired (their traffic is simply unroutable while the
+    /// router is down), matching `DegradedTopology` semantics.
+    KillRouter { router: usize },
+    /// Revive every router-to-router link of a previously killed router,
+    /// including any that were individually killed beforehand.
+    ReviveRouter { router: usize },
 }
 
 /// One scheduled fault action.
@@ -65,6 +75,24 @@ impl FaultSchedule {
         self.events.push(FaultEvent {
             cycle,
             action: FaultAction::ReviveLink { router, port },
+        });
+        self
+    }
+
+    /// Schedules a whole-router kill at `cycle`.
+    pub fn kill_router_at(mut self, cycle: u64, router: usize) -> Self {
+        self.events.push(FaultEvent {
+            cycle,
+            action: FaultAction::KillRouter { router },
+        });
+        self
+    }
+
+    /// Schedules a whole-router revival at `cycle`.
+    pub fn revive_router_at(mut self, cycle: u64, router: usize) -> Self {
+        self.events.push(FaultEvent {
+            cycle,
+            action: FaultAction::ReviveRouter { router },
         });
         self
     }
@@ -169,6 +197,23 @@ mod tests {
         );
         assert!(s.is_done());
         assert!(s.pop_due(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn router_events_interleave_with_link_events() {
+        let mut s = FaultSchedule::new()
+            .kill_router_at(20, 7)
+            .kill_link_at(10, 1, 2)
+            .revive_router_at(30, 7);
+        s.finalize();
+        assert_eq!(
+            s.pop_due(10),
+            Some(FaultAction::KillLink { router: 1, port: 2 })
+        );
+        assert_eq!(s.pop_due(25), Some(FaultAction::KillRouter { router: 7 }));
+        assert!(s.pop_due(29).is_none());
+        assert_eq!(s.pop_due(30), Some(FaultAction::ReviveRouter { router: 7 }));
+        assert!(s.is_done());
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod sim;
 mod stats;
 mod terminal;
 mod trace;
+pub mod transport;
 mod workload;
 
 pub use channel::Channel;
@@ -53,6 +54,7 @@ pub use sim::Sim;
 pub use stats::{LatencyHist, Stats};
 pub use terminal::Terminal;
 pub use trace::{DropReason, DropRecord, HopRecord, Trace};
+pub use transport::{Transport, TransportStats, TransportSummary};
 pub use workload::{Delivered, IdleWorkload, PacketDesc, Workload};
 
 #[cfg(test)]

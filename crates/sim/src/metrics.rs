@@ -342,6 +342,9 @@ pub struct Metrics {
     /// Wall-clock phase attribution (all zero unless
     /// [`MetricsConfig::timers`]).
     pub timers: PhaseTimers,
+    /// Latest retransmission-transport snapshot, kept fresh by
+    /// [`Sim::step`](crate::Sim::step) while the transport is enabled.
+    pub transport: Option<crate::transport::TransportSummary>,
 }
 
 impl Metrics {
@@ -387,6 +390,7 @@ impl Metrics {
             events: Vec::new(),
             occ_hist: LogHist::default(),
             timers: PhaseTimers::default(),
+            transport: None,
         }
     }
 
@@ -605,6 +609,11 @@ impl Metrics {
             kind: &'static str,
             summary: MetricsSummary,
         }
+        #[derive(serde::Serialize)]
+        struct TransportRow {
+            kind: &'static str,
+            transport: crate::transport::TransportSummary,
+        }
         let mut out = String::new();
         let mut push = |row: &dyn serde::Serialize| {
             out.push_str(&crate::schema::versioned_json_row(row));
@@ -624,6 +633,14 @@ impl Metrics {
         }
         for s in &self.port_samples {
             push(s);
+        }
+        // Emitted only when the retransmission transport is active, so
+        // transport-free streams (and their golden digests) are unchanged.
+        if let Some(t) = &self.transport {
+            push(&TransportRow {
+                kind: "transport",
+                transport: *t,
+            });
         }
         push(&SummaryRow {
             kind: "summary",

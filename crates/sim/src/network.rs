@@ -306,14 +306,105 @@ impl Network {
         }
     }
 
-    /// Applies one fault action to the running network.
-    ///
-    /// Killing a link takes down *both* directions of the cable: flits on
+    /// The router-to-router ports of `router` (terminal and unused ports
+    /// excluded) — the set a whole-router fault touches.
+    fn network_ports(&self, router: usize) -> Vec<usize> {
+        (0..self.topo.num_ports(router))
+            .filter(|&p| matches!(self.topo.port_target(router, p), PortTarget::Router { .. }))
+            .collect()
+    }
+
+    /// Kills both directions of the cable at `(router, port)`: flits on
     /// either wire are dropped (their packets poisoned), packets committed
     /// to either dead port or left incomplete by the cut are poisoned, and
     /// the routers' liveness masks flip so routing stops considering the
-    /// ports. Reviving purges stale egress remnants, clears the drop bins,
-    /// and rebuilds sender credits from the receivers' actual occupancy.
+    /// ports. Killing an already-dead link is a no-op, so overlapping
+    /// link- and router-kill schedules compose.
+    fn kill_link(
+        &mut self,
+        router: usize,
+        port: usize,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        mut trace: Option<&mut Trace>,
+    ) {
+        if !self.routers[router].live_ports[port] {
+            return;
+        }
+        let (r2, p2) = self.peer_of(router, port);
+        for &(r, p) in &[(router, port), (r2, p2)] {
+            self.routers[r].live_ports[p] = false;
+            let ch = self.routers[r].out_chan[p].expect("killing an unwired port");
+            for (flit, _) in self.channels[ch].kill() {
+                poison_packet(
+                    pool,
+                    stats,
+                    trace.as_deref_mut(),
+                    flit.pkt,
+                    now,
+                    DropReason::LinkFailed,
+                );
+                stats.dropped_flits += 1;
+                pool.note_flit_gone(flit.pkt);
+            }
+            self.routers[r].poison_port_traffic(p, pool, stats, trace.as_deref_mut(), now);
+        }
+    }
+
+    /// Revives both directions of the cable at `(router, port)`: purges
+    /// stale egress remnants, clears the drop bins, and rebuilds sender
+    /// credits from the receivers' actual occupancy. Reviving a live link
+    /// is a no-op.
+    fn revive_link(
+        &mut self,
+        router: usize,
+        port: usize,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        mut trace: Option<&mut Trace>,
+    ) {
+        if self.routers[router].live_ports[port] {
+            return;
+        }
+        let (r2, p2) = self.peer_of(router, port);
+        for &(r, p, pr, pp) in &[(router, port, r2, p2), (r2, p2, router, port)] {
+            self.routers[r].purge_egress(p, pool, stats);
+            let ch = self.routers[r].out_chan[p].expect("reviving an unwired port");
+            for (flit, _) in self.channels[ch].take_dead_drops() {
+                poison_packet(
+                    pool,
+                    stats,
+                    trace.as_deref_mut(),
+                    flit.pkt,
+                    now,
+                    DropReason::LinkFailed,
+                );
+                stats.dropped_flits += 1;
+                pool.note_flit_gone(flit.pkt);
+            }
+            self.channels[ch].revive();
+            let occ: Vec<usize> = (0..self.cfg.num_vcs)
+                .map(|vc| self.routers[pr].input_occupancy(pp, vc))
+                .collect();
+            self.routers[r].reset_out_credits(p, &occ);
+            self.routers[r].live_ports[p] = true;
+        }
+    }
+
+    /// Applies one fault action to the running network.
+    ///
+    /// Link actions operate on one cable (see [`Self::kill_link`] /
+    /// [`Self::revive_link`]); router actions apply the same treatment to
+    /// every router-to-router cable of the victim atomically, within one
+    /// cycle boundary. Terminal links stay wired — a dead router's
+    /// terminals simply cannot reach (or be reached by) the rest of the
+    /// fabric until revival, matching `DegradedTopology` semantics.
+    /// Already-dead links are skipped on kill and already-live links on
+    /// revival, so arbitrary interleavings of link and router events
+    /// compose; each scheduled action counts once in
+    /// `Stats::fault_events`.
     pub fn apply_fault(
         &mut self,
         action: FaultAction,
@@ -324,48 +415,19 @@ impl Network {
     ) {
         match action {
             FaultAction::KillLink { router, port } => {
-                let (r2, p2) = self.peer_of(router, port);
-                for &(r, p) in &[(router, port), (r2, p2)] {
-                    self.routers[r].live_ports[p] = false;
-                    let ch = self.routers[r].out_chan[p].expect("killing an unwired port");
-                    for (flit, _) in self.channels[ch].kill() {
-                        poison_packet(
-                            pool,
-                            stats,
-                            trace.as_deref_mut(),
-                            flit.pkt,
-                            now,
-                            DropReason::LinkFailed,
-                        );
-                        stats.dropped_flits += 1;
-                        pool.note_flit_gone(flit.pkt);
-                    }
-                    self.routers[r].poison_port_traffic(p, pool, stats, trace.as_deref_mut(), now);
-                }
+                self.kill_link(router, port, now, pool, stats, trace.as_deref_mut());
             }
             FaultAction::ReviveLink { router, port } => {
-                let (r2, p2) = self.peer_of(router, port);
-                for &(r, p, pr, pp) in &[(router, port, r2, p2), (r2, p2, router, port)] {
-                    self.routers[r].purge_egress(p, pool, stats);
-                    let ch = self.routers[r].out_chan[p].expect("reviving an unwired port");
-                    for (flit, _) in self.channels[ch].take_dead_drops() {
-                        poison_packet(
-                            pool,
-                            stats,
-                            trace.as_deref_mut(),
-                            flit.pkt,
-                            now,
-                            DropReason::LinkFailed,
-                        );
-                        stats.dropped_flits += 1;
-                        pool.note_flit_gone(flit.pkt);
-                    }
-                    self.channels[ch].revive();
-                    let occ: Vec<usize> = (0..self.cfg.num_vcs)
-                        .map(|vc| self.routers[pr].input_occupancy(pp, vc))
-                        .collect();
-                    self.routers[r].reset_out_credits(p, &occ);
-                    self.routers[r].live_ports[p] = true;
+                self.revive_link(router, port, now, pool, stats, trace.as_deref_mut());
+            }
+            FaultAction::KillRouter { router } => {
+                for port in self.network_ports(router) {
+                    self.kill_link(router, port, now, pool, stats, trace.as_deref_mut());
+                }
+            }
+            FaultAction::ReviveRouter { router } => {
+                for port in self.network_ports(router) {
+                    self.revive_link(router, port, now, pool, stats, trace.as_deref_mut());
                 }
             }
         }

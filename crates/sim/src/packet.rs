@@ -57,6 +57,10 @@ pub struct Packet {
     pub route: PacketRouteState,
     /// Workload-defined tag (e.g. message id for multi-packet messages).
     pub tag: u64,
+    /// Transport sequence number: identifies the logical packet across
+    /// retransmitted copies for receiver-side duplicate suppression.
+    /// 0 when the retransmission transport is disabled.
+    pub seq: u64,
 }
 
 /// Slab allocator for in-flight packets.
@@ -219,6 +223,7 @@ mod tests {
             inject: u64::MAX,
             route: PacketRouteState::default(),
             tag: 0,
+            seq: 0,
         }
     }
 

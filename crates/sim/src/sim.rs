@@ -13,6 +13,7 @@ use crate::network::Network;
 use crate::packet::{Packet, PacketPool};
 use crate::stats::Stats;
 use crate::trace::Trace;
+use crate::transport::{Transport, TransportStats};
 use crate::workload::{Delivered, PacketDesc, Workload};
 
 /// A running simulation.
@@ -34,6 +35,9 @@ pub struct Sim {
     /// disabled (default) case costs one null check per cycle.
     metrics: Option<Box<Metrics>>,
     delivered_buf: Vec<Delivered>,
+    /// Source-retransmission transport, present when
+    /// `SimConfig::retransmit_enabled()` (see [`crate::transport`]).
+    transport: Option<Box<Transport>>,
     /// Pending fault injections, if any.
     fault_schedule: Option<FaultSchedule>,
     /// Whether any fault has ever been applied (enables fallout sweeps
@@ -55,6 +59,9 @@ impl Sim {
         cfg: SimConfig,
         seed: u64,
     ) -> Self {
+        let transport = cfg
+            .retransmit_enabled()
+            .then(|| Box::new(Transport::new(&cfg)));
         Sim {
             net: Network::new(topo, algo, cfg, seed),
             pool: PacketPool::new(),
@@ -64,6 +71,7 @@ impl Sim {
             trace: None,
             metrics: None,
             delivered_buf: Vec::new(),
+            transport,
             fault_schedule: None,
             fault_mode: false,
             last_flit_moves: 0,
@@ -125,13 +133,33 @@ impl Sim {
 
     /// Creates a packet and queues it at its source terminal. Returns
     /// false (refusing the packet) when the terminal's source queue is at
-    /// `max_source_queue` capacity.
+    /// `max_source_queue` capacity. With the retransmission transport
+    /// enabled the packet is registered for delivery tracking and stamped
+    /// with a fresh sequence number.
     pub fn inject(&mut self, desc: PacketDesc) -> bool {
-        debug_assert!(desc.len >= 1 && desc.len as usize <= self.net.cfg.max_packet_flits);
-        if self.net.terminal_mut(desc.src as usize).queued() >= self.net.cfg.max_source_queue {
-            self.refused_packets += 1;
+        if self.source_queue_full(desc.src) {
             return false;
         }
+        let now = self.now;
+        let seq = self.transport.as_mut().map_or(0, |t| t.register(desc, now));
+        self.inject_physical(desc, seq, now);
+        true
+    }
+
+    /// Whether `src`'s injection queue is at capacity (counts a refusal).
+    fn source_queue_full(&mut self, src: u32) -> bool {
+        if self.net.terminal_mut(src as usize).queued() >= self.net.cfg.max_source_queue {
+            self.refused_packets += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Allocates and enqueues one physical copy of a logical packet.
+    /// `birth` is the logical packet's creation cycle, so a retransmitted
+    /// copy's delivery latency spans the whole outage it recovered from.
+    fn inject_physical(&mut self, desc: PacketDesc, seq: u64, birth: u64) {
+        debug_assert!(desc.len >= 1 && desc.len as usize <= self.net.cfg.max_packet_flits);
         let dst_router = self.net.topo.router_of_terminal(desc.dst as usize) as u32;
         let id = self.pool.alloc(Packet {
             src: desc.src,
@@ -139,14 +167,19 @@ impl Sim {
             dst_router,
             len: desc.len,
             hops: 0,
-            birth: self.now,
+            birth,
             inject: u64::MAX,
             route: PacketRouteState::default(),
             tag: desc.tag,
+            seq,
         });
         self.stats.record_generation(desc.len);
         self.net.terminal_mut(desc.src as usize).enqueue(id);
-        true
+    }
+
+    /// The retransmission transport's counters, if enabled.
+    pub fn transport_stats(&self) -> Option<&TransportStats> {
+        self.transport.as_ref().map(|t| &t.stats)
     }
 
     /// Advances one cycle under `workload`.
@@ -176,6 +209,21 @@ impl Sim {
             );
         }
 
+        // Retransmissions fire before the workload injects: recovery
+        // traffic takes source-queue priority over new traffic. The
+        // transport is detached while pumping so the inject closure can
+        // borrow the rest of `self`.
+        if let Some(mut t) = self.transport.take() {
+            t.pump(now, &mut |desc, seq, birth| {
+                if self.source_queue_full(desc.src) {
+                    return false;
+                }
+                self.inject_physical(desc, seq, birth);
+                true
+            });
+            self.transport = Some(t);
+        }
+
         // The closure injects directly so the workload observes refusals
         // (source-queue backpressure) synchronously.
         workload.pre_cycle(now, &mut |d| self.inject(d));
@@ -191,13 +239,24 @@ impl Sim {
             self.metrics.as_deref_mut(),
         );
         for d in &delivered {
-            workload.on_delivered(d, self.now);
+            // Duplicate suppression: with the transport on, only the
+            // first copy of each sequence reaches the workload.
+            let first_copy = match self.transport.as_mut() {
+                Some(t) => t.on_delivered(d, self.now),
+                None => true,
+            };
+            if first_copy {
+                workload.on_delivered(d, self.now);
+            }
         }
         self.delivered_buf = delivered;
 
         if let Some(m) = self.metrics.as_deref_mut() {
             if m.sample_due(self.now) {
                 m.sample(self.now, &self.net);
+            }
+            if let Some(t) = self.transport.as_ref() {
+                m.transport = Some(t.stats.summary());
             }
         }
 
@@ -306,7 +365,11 @@ impl Sim {
             if self.watchdog.is_some() {
                 return None;
             }
-            if workload.is_done() && self.pool.live() == 0 && self.net.is_drained() {
+            if workload.is_done()
+                && self.pool.live() == 0
+                && self.net.is_drained()
+                && self.transport.as_ref().is_none_or(|t| t.is_idle())
+            {
                 return Some(self.now);
             }
         }

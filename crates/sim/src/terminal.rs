@@ -107,6 +107,7 @@ impl Terminal {
                     latency,
                     net_latency,
                     hops: pkt.hops,
+                    seq: pkt.seq,
                 });
                 sink.pool_ops.push(PoolOp::Gone(flit.pkt));
                 sink.pool_ops.push(PoolOp::Release(flit.pkt));
@@ -203,6 +204,7 @@ mod tests {
             inject: u64::MAX,
             route: Default::default(),
             tag: 0,
+            seq: 0,
         }
     }
 

@@ -43,6 +43,10 @@ pub struct Delivered {
     pub net_latency: u64,
     /// Router-to-router hops taken.
     pub hops: u8,
+    /// Transport sequence number (0 when retransmission is disabled).
+    /// Retransmitted copies of one logical packet share a `seq`; the
+    /// simulator suppresses duplicates before workloads see them.
+    pub seq: u64,
 }
 
 /// A packet-injecting workload driven by the simulator.

@@ -156,6 +156,70 @@ impl FaultSet {
         }
         set
     }
+
+    /// Draws `n` distinct routers of `topo` uniformly at random under
+    /// `seed` and adds them to this fault set, such that the routers
+    /// *surviving* the combined set (these routers plus any links already
+    /// in the set) still form one connected component. Returns the number
+    /// of routers actually added (fewer than `n` only when the topology
+    /// runs out of safely removable routers). The router stream is salted
+    /// differently from [`FaultSet::random_links`], so the same seed
+    /// yields independent link and router draws.
+    pub fn extend_random_routers(&mut self, topo: &dyn Topology, n: usize, seed: u64) -> usize {
+        // Dead ports implied by the links already in the set (symmetrized).
+        let mut dead_ports: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (r, p) in self.links.iter().copied() {
+            if let PortTarget::Router { router, port } = topo.port_target(r, p) {
+                dead_ports.insert((r, p));
+                dead_ports.insert((router, port));
+            }
+        }
+
+        let mut candidates: Vec<usize> = (0..topo.num_routers()).collect();
+        let mut state = seed ^ 0xA076_1D64_78BD_642F; // distinct salt from random_links
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..candidates.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            candidates.swap(i, j);
+        }
+
+        let mut added = 0usize;
+        let mut dead_routers = self.routers.clone();
+        for r in candidates {
+            if added >= n {
+                break;
+            }
+            if dead_routers.contains(&r) {
+                continue;
+            }
+            dead_routers.insert(r);
+            let surviving = topo.num_routers() - dead_routers.len();
+            if surviving > 0
+                && surviving_component(topo, &dead_ports, &dead_routers) == Some(surviving)
+            {
+                self.fail_router(r);
+                added += 1;
+            } else {
+                dead_routers.remove(&r);
+            }
+        }
+        added
+    }
+
+    /// Draws `n` distinct routers uniformly at random under `seed` whose
+    /// removal keeps the surviving router graph connected. See
+    /// [`FaultSet::extend_random_routers`].
+    pub fn random_routers(topo: &dyn Topology, n: usize, seed: u64) -> FaultSet {
+        let mut set = FaultSet::new();
+        set.extend_random_routers(topo, n, seed);
+        set
+    }
 }
 
 /// Size of the connected component containing the first surviving router,
@@ -530,6 +594,36 @@ mod tests {
         let a = FaultSet::random_links(&*hx, 4, 9);
         let b = FaultSet::random_links(&*hx, 4, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_routers_respects_count_and_connectivity() {
+        let hx = Arc::new(HyperX::uniform(3, 3, 2));
+        for seed in 0..5u64 {
+            let faults = FaultSet::random_routers(&*hx, 3, seed);
+            assert_eq!(faults.routers().count(), 3, "seed {seed}");
+            let deg = DegradedTopology::new(hx.clone(), faults).unwrap();
+            check_wiring(&deg);
+        }
+        // Deterministic under a fixed seed.
+        let a = FaultSet::random_routers(&*hx, 2, 9);
+        let b = FaultSet::random_routers(&*hx, 2, 9);
+        assert_eq!(a, b);
+        // Decorrelated from the link draw of the same seed.
+        assert!(FaultSet::random_links(&*hx, 2, 9) != a);
+    }
+
+    #[test]
+    fn extend_random_routers_respects_existing_links() {
+        let hx = Arc::new(HyperX::uniform(3, 3, 2));
+        for seed in 0..5u64 {
+            let mut faults = FaultSet::random_links(&*hx, 4, seed);
+            let added = faults.extend_random_routers(&*hx, 2, seed);
+            assert_eq!(added, 2, "seed {seed}");
+            // Combined set still leaves the survivors connected.
+            let deg = DegradedTopology::new(hx.clone(), faults).unwrap();
+            check_wiring(&deg);
+        }
     }
 
     #[test]

@@ -256,6 +256,22 @@ fn cmd_status(cli: &Cli) -> Result<ExitCode, String> {
         entries.len(),
         total_bytes / 1024
     );
+    // Whole entries written under another schema version can never hit —
+    // surface them here so a post-bump cold cache is explainable.
+    let stale = entries
+        .iter()
+        .filter(|e| {
+            e.schema_version
+                .is_some_and(|v| v != i64::from(hxsim::SCHEMA_VERSION))
+        })
+        .count();
+    if stale > 0 {
+        println!(
+            "  {stale} stale entries from other schema versions (current is {}; \
+             misses recompute, `hx gc` removes them)",
+            hxsim::SCHEMA_VERSION
+        );
+    }
     let mut by_exp: Vec<(String, usize)> = Vec::new();
     for e in &entries {
         let name = if e.experiment.is_empty() {

@@ -45,6 +45,14 @@ pub struct EntryInfo {
     pub digest: u64,
     pub experiment: String,
     pub bytes: u64,
+    /// Schema version from the entry's meta line (`None` if unreadable).
+    /// Entries from another version are whole but can never hit.
+    pub schema_version: Option<i64>,
+}
+
+/// The `schema_version` field of a JSON row, if present.
+fn schema_version_of(line: &str) -> Option<i64> {
+    parse_json(line).ok()?.get("schema_version")?.as_i64()
 }
 
 /// Handle on a store directory.
@@ -81,7 +89,9 @@ impl Store {
     /// `.corrupt.<digest>.json` with a warning, so the point recomputes
     /// and the evidence survives for inspection until `hx gc` sweeps it.
     /// Entries from an *incompatible schema* are whole and healthy, just
-    /// stale — they miss silently without quarantine.
+    /// stale — they miss without quarantine, but each miss says so: a
+    /// silently shrinking cache after a schema bump looks exactly like a
+    /// broken one, so the warning names the entry's version.
     pub fn lookup(&self, digest: u64) -> Option<String> {
         let content = std::fs::read_to_string(self.path_for(digest)).ok()?;
         let mut lines = content.lines();
@@ -100,6 +110,14 @@ impl Store {
                 || line == format!("{{\"schema_version\":{v}}}")
         };
         if !ok(meta) || !ok(row) {
+            let found = schema_version_of(meta)
+                .or_else(|| schema_version_of(row))
+                .map_or_else(|| "unversioned".to_string(), |got| format!("version {got}"));
+            eprintln!(
+                "warning: store entry {} is {found} (current schema is {v}); \
+                 treating as a miss and recomputing",
+                self.path_for(digest).display()
+            );
             return None;
         }
         Some(row.to_string())
@@ -160,17 +178,20 @@ impl Store {
                 continue;
             };
             let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
-            let experiment = std::fs::read_to_string(entry.path())
-                .ok()
-                .and_then(|c| {
-                    let meta = parse_json(c.lines().next()?).ok()?;
+            let content = std::fs::read_to_string(entry.path()).ok();
+            let meta_line = content.as_deref().and_then(|c| c.lines().next());
+            let experiment = meta_line
+                .and_then(|l| {
+                    let meta = parse_json(l).ok()?;
                     Some(meta.get("experiment")?.as_str()?.to_string())
                 })
                 .unwrap_or_default();
+            let schema_version = meta_line.and_then(schema_version_of);
             out.push(EntryInfo {
                 digest,
                 experiment,
                 bytes,
+                schema_version,
             });
         }
         out.sort_by_key(|e| e.digest);
@@ -255,6 +276,32 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.lookup(7), None);
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    /// `scan` reports each entry's schema version so `hx status` can
+    /// count stale-but-healthy entries instead of them hiding as misses.
+    #[test]
+    fn scan_reports_schema_versions() {
+        let s = tmp_store("scan_schema");
+        let row = format!("{{\"schema_version\":{}}}", hxsim::SCHEMA_VERSION);
+        s.insert(1, &meta("t", 1), &row).unwrap();
+        let stale = s.dir().join(format!("{}.json", digest_hex(2)));
+        std::fs::write(
+            &stale,
+            "{\"schema_version\":999,\"kind\":\"store_meta\"}\n{\"schema_version\":999}\n",
+        )
+        .unwrap();
+        let entries = s.scan().unwrap();
+        let version_of = |d: u64| {
+            entries
+                .iter()
+                .find(|e| e.digest == d)
+                .unwrap()
+                .schema_version
+        };
+        assert_eq!(version_of(1), Some(i64::from(hxsim::SCHEMA_VERSION)));
+        assert_eq!(version_of(2), Some(999));
         std::fs::remove_dir_all(s.dir()).ok();
     }
 

@@ -159,14 +159,29 @@ impl Channel {
             .map(|&(_, vc)| vc)
     }
 
-    /// Drops everything that has arrived by `now` from both wires. Safe to
-    /// apply blanket-wise because every endpoint unconditionally consumes
-    /// all matured arrivals each cycle; the compute phase has already
-    /// observed them via the `arrived_*` iterators.
+    /// Drops everything that has arrived by `now` from both wires. The
+    /// cycle-stepped engine applies this blanket-wise because every
+    /// endpoint unconditionally consumes all matured arrivals each cycle;
+    /// the compute phase has already observed them via the `arrived_*`
+    /// iterators.
     pub(crate) fn discard_arrived(&mut self, now: u64) {
+        self.discard_arrived_flits(now);
+        self.discard_arrived_credits(now);
+    }
+
+    /// Drops flits that have arrived by `now`. The event engine discards
+    /// per direction, only on channels whose consumer ticked this cycle —
+    /// arrival wakes guarantee the consumer is awake exactly when a flit
+    /// matures, so nothing is ever dropped unobserved.
+    pub(crate) fn discard_arrived_flits(&mut self, now: u64) {
         while self.flits.front().is_some_and(|&(t, _, _)| t <= now) {
             self.flits.pop_front();
         }
+    }
+
+    /// Drops credits that have arrived by `now` (see
+    /// [`Self::discard_arrived_flits`]).
+    pub(crate) fn discard_arrived_credits(&mut self, now: u64) {
         while self.credits.front().is_some_and(|&(t, _)| t <= now) {
             self.credits.pop_front();
         }

@@ -1,5 +1,20 @@
 //! Simulator configuration.
 
+/// Which inner-loop engine drives the simulation.
+///
+/// Both engines produce bit-identical results (the differential
+/// equivalence suite in `tests/engine_equiv.rs` pins this); the choice is
+/// purely a performance knob, so — like `tick_threads` — it is excluded
+/// from [`CanonicalSimConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Tick every router and terminal every cycle (the legacy engine).
+    Cycle,
+    /// Event-driven: endpoints schedule wakes on a deterministic event
+    /// queue, only due endpoints tick, and dead cycles are skipped.
+    Event,
+}
+
 /// Timing and buffering parameters of the simulated network.
 ///
 /// One simulator cycle equals one nanosecond at the paper's flit rate; the
@@ -73,6 +88,10 @@ pub struct SimConfig {
     /// for every value; 1 (the default) runs fully serial. The default can
     /// be overridden with the `HX_TICK_THREADS` environment variable.
     pub tick_threads: usize,
+    /// Inner-loop engine. Defaults to [`Engine::Event`]; the `HX_ENGINE`
+    /// environment variable (`cycle` or `event`) overrides the default.
+    /// Results are bit-identical either way.
+    pub engine: Engine,
 }
 
 impl Default for SimConfig {
@@ -94,7 +113,17 @@ impl Default for SimConfig {
             retransmit_max_retries: 16,
             retransmit_backoff_cap: 0,
             tick_threads: default_tick_threads(),
+            engine: default_engine(),
         }
+    }
+}
+
+/// `HX_ENGINE` override for the default engine: `cycle` selects the legacy
+/// cycle-stepped loop, anything else (or unset) the event engine.
+fn default_engine() -> Engine {
+    match std::env::var("HX_ENGINE") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("cycle") => Engine::Cycle,
+        _ => Engine::Event,
     }
 }
 
@@ -109,10 +138,11 @@ fn default_tick_threads() -> usize {
 
 /// The semantically meaningful subset of [`SimConfig`], serialized with a
 /// fixed field order for content-addressed hashing (the `hx` result
-/// store). Excludes `tick_threads`: the parallel tick engine is
-/// bit-identical for every thread count, so the thread count is an
-/// execution knob, not part of the experiment's identity — hashing it
-/// would spuriously miss the cache when re-running on different hardware.
+/// store). Excludes `tick_threads` and `engine`: the parallel tick is
+/// bit-identical for every thread count and the two engines are
+/// bit-identical to each other, so both are execution knobs, not part of
+/// the experiment's identity — hashing them would spuriously miss the
+/// cache when re-running on different hardware.
 #[derive(serde::Serialize, Clone, Copy, Debug, PartialEq)]
 pub struct CanonicalSimConfig {
     pub num_vcs: usize,

@@ -20,6 +20,13 @@
 //! The free-list order of `PacketPool` is simulation-visible (future
 //! `PacketId`s feed age-based arbitration tie-breaks), which is why pool
 //! mutations ride the outbox as [`PoolOp`]s and replay serially.
+//!
+//! The event engine (`Network::tick_event`) composes with this unchanged:
+//! it shards *only the cycle's due endpoints* (pulled from the
+//! deterministic event queue in `crate::event`, which yields them sorted
+//! by id) through the same compute/commit pipeline, so bit-determinism at
+//! every thread count carries over — the tick set, the shard boundaries,
+//! and the replay order all derive from endpoint ids alone.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -109,6 +109,12 @@ impl FaultSchedule {
         self.next = 0;
     }
 
+    /// The cycle of the next pending event, if any (the event engine skips
+    /// dead cycles only up to this bound).
+    pub(crate) fn next_cycle(&self) -> Option<u64> {
+        self.events.get(self.next).map(|e| e.cycle)
+    }
+
     /// Pops the next action due at or before `now`, if any.
     pub(crate) fn pop_due(&mut self, now: u64) -> Option<FaultAction> {
         let e = self.events.get(self.next)?;

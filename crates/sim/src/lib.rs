@@ -23,6 +23,7 @@
 
 mod channel;
 mod config;
+pub mod event;
 mod exec;
 mod fault;
 pub mod metrics;
@@ -40,7 +41,8 @@ pub mod transport;
 mod workload;
 
 pub use channel::Channel;
-pub use config::{CanonicalSimConfig, SimConfig};
+pub use config::{CanonicalSimConfig, Engine, SimConfig};
+pub use event::{EventKind, EventQueue};
 pub use fault::{FaultAction, FaultEvent, FaultSchedule, RouterDiag, WatchdogReport};
 pub use metrics::{
     LogHist, Metrics, MetricsConfig, MetricsSummary, NetSample, PhaseTimers, PortSample,

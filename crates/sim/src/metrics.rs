@@ -472,6 +472,14 @@ impl Metrics {
         (now + 1).is_multiple_of(self.cfg.sample_interval)
     }
 
+    /// The earliest cycle `>= now` whose execution completes a sample
+    /// window. The event engine must execute (not skip) that cycle so
+    /// time-series rows land on the same cycles as the cycle engine's.
+    #[inline]
+    pub(crate) fn next_sample_cycle(&self, now: u64) -> u64 {
+        (now + 1).div_ceil(self.cfg.sample_interval) * self.cfg.sample_interval - 1
+    }
+
     /// Takes one time-series sample over the network state at cycle `now`.
     /// Called by [`Sim::step`](crate::Sim::step) at every due cycle; safe
     /// to call directly for a final partial-window snapshot.

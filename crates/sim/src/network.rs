@@ -8,7 +8,8 @@ use hxcore::RoutingAlgorithm;
 use hxtopo::{ChannelKind, PortTarget, Topology};
 
 use crate::channel::Channel;
-use crate::config::SimConfig;
+use crate::config::{Engine, SimConfig};
+use crate::event::{EventKind, EventQueue};
 use crate::exec::{MetricEvent, PoolOp, TickPool, TickSink};
 use crate::fault::FaultAction;
 use crate::metrics::Metrics;
@@ -34,6 +35,94 @@ pub struct Network {
     sinks: Vec<TickSink>,
     /// Persistent tick workers, spawned lazily when `cfg.tick_threads > 1`.
     exec: Option<TickPool>,
+    /// Event-engine wake state (`None` when `cfg.engine == Engine::Cycle`).
+    event: Option<Box<EventState>>,
+}
+
+/// Wake-scheduling state for the event-driven engine. Endpoint ids span
+/// routers (`0..nr`) then terminals (`nr..nr + nt`) — the exact order the
+/// serial commit phase replays endpoints in.
+struct EventState {
+    queue: EventQueue,
+    /// Endpoint that consumes flits arriving on each channel.
+    flit_consumer: Vec<u32>,
+    /// Endpoint that consumes credits returning on each channel (the
+    /// channel's flit-sender side).
+    credit_consumer: Vec<u32>,
+    /// Per-channel one-way latency, cached for arrival-wake scheduling.
+    chan_latency: Vec<u64>,
+    /// Per-cycle wheel of channels with a send maturing that cycle, so
+    /// the commit phase discards exactly those arrivals instead of
+    /// scanning every port of every ticked endpoint.
+    chan_wheel: ChanWheel,
+    /// This cycle's due-endpoint scratch, reused every cycle.
+    tick_set: Vec<u32>,
+    /// Lifetime endpoint wakes executed.
+    events_processed: u64,
+}
+
+/// A tiny calendar wheel of `(channel, direction)` maturities. Every wire
+/// send lands at `send cycle + latency`, always within `slots.len()`
+/// cycles of the drain cursor (the cursor is advanced to `now + 1` before
+/// any same-cycle push, and sized past the longest channel latency), so a
+/// plain modulo wheel with no overflow path suffices.
+struct ChanWheel {
+    /// `slots[c % len]`: channel ids (`ch << 1 | is_flit`) maturing at `c`.
+    slots: Vec<Vec<u32>>,
+    /// Next cycle to drain.
+    next_drain: u64,
+}
+
+impl ChanWheel {
+    fn new(max_latency: u64) -> Self {
+        ChanWheel {
+            slots: (0..max_latency + 2).map(|_| Vec::new()).collect(),
+            next_drain: 0,
+        }
+    }
+
+    /// Records a send on `ch` maturing at `t`. Requires
+    /// `next_drain <= t < next_drain + slots.len()`.
+    fn push(&mut self, t: u64, ch: usize, is_flit: bool) {
+        debug_assert!(t >= self.next_drain);
+        debug_assert!(t - self.next_drain < self.slots.len() as u64);
+        let i = (t % self.slots.len() as u64) as usize;
+        self.slots[i].push((ch as u32) << 1 | is_flit as u32);
+    }
+
+    /// Advances the cursor to `now` without touching cycle `now` itself,
+    /// discarding any arrival matured strictly earlier (its consumer
+    /// ticked back then, so the discard is overdue bookkeeping). No-op if
+    /// the cursor is already at or past `now`.
+    fn advance_below(&mut self, now: u64, channels: &mut [Channel]) {
+        if self.next_drain < now {
+            self.drain_discard(now - 1, channels);
+        }
+    }
+
+    /// Discards every arrival matured by `now` from its channel and
+    /// advances the cursor to `now + 1`. Safe across skipped gaps: a
+    /// cycle with a matured arrival always has its consumer awake, so
+    /// skipped slots are provably empty.
+    fn drain_discard(&mut self, now: u64, channels: &mut [Channel]) {
+        let len = self.slots.len() as u64;
+        let first = if now + 1 - self.next_drain >= len {
+            now + 1 - len
+        } else {
+            self.next_drain
+        };
+        for c in first..=now {
+            for packed in self.slots[(c % len) as usize].drain(..) {
+                let ch = &mut channels[(packed >> 1) as usize];
+                if packed & 1 == 1 {
+                    ch.discard_arrived_flits(now);
+                } else {
+                    ch.discard_arrived_credits(now);
+                }
+            }
+        }
+        self.next_drain = now + 1;
+    }
 }
 
 impl Network {
@@ -93,7 +182,7 @@ impl Network {
             }
         }
 
-        let terminals = term_wiring
+        let terminals: Vec<Terminal> = term_wiring
             .into_iter()
             .enumerate()
             .map(|(t, w)| {
@@ -101,6 +190,40 @@ impl Network {
                 Terminal::new(t, &cfg, out_chan, in_chan, seed)
             })
             .collect();
+
+        let event = (cfg.engine == Engine::Event).then(|| {
+            // Every channel has exactly one flit consumer (its receiver)
+            // and one credit consumer (its sender); map both so each wire
+            // send can wake the endpoint that will observe the arrival.
+            let nc = channels.len();
+            let mut flit_consumer = vec![u32::MAX; nc];
+            let mut credit_consumer = vec![u32::MAX; nc];
+            for r in &routers {
+                for p in 0..r.in_chan.len() {
+                    if let Some(ch) = r.in_chan[p] {
+                        flit_consumer[ch] = r.id() as u32;
+                    }
+                    if let Some(ch) = r.out_chan[p] {
+                        credit_consumer[ch] = r.id() as u32;
+                    }
+                }
+            }
+            for t in &terminals {
+                flit_consumer[t.in_chan] = (nr + t.id()) as u32;
+                credit_consumer[t.out_chan] = (nr + t.id()) as u32;
+            }
+            debug_assert!(flit_consumer.iter().all(|&c| c != u32::MAX));
+            debug_assert!(credit_consumer.iter().all(|&c| c != u32::MAX));
+            Box::new(EventState {
+                queue: EventQueue::new(nr + nt),
+                flit_consumer,
+                credit_consumer,
+                chan_latency: channels.iter().map(|c| c.latency()).collect(),
+                chan_wheel: ChanWheel::new(channels.iter().map(|c| c.latency()).max().unwrap_or(0)),
+                tick_set: Vec::new(),
+                events_processed: 0,
+            })
+        });
 
         Network {
             topo,
@@ -111,6 +234,59 @@ impl Network {
             channels,
             sinks: Vec::new(),
             exec: None,
+            event,
+        }
+    }
+
+    /// Whether the event-driven engine drives this network.
+    pub fn engine_is_event(&self) -> bool {
+        self.event.is_some()
+    }
+
+    /// Endpoint wakes executed by the event engine so far (0 under the
+    /// cycle engine, which has no notion of a wake).
+    pub fn events_processed(&self) -> u64 {
+        self.event.as_ref().map_or(0, |ev| ev.events_processed)
+    }
+
+    /// Event engine: wakes terminal `t` at `now` — a packet just entered
+    /// its injection queue. No-op under the cycle engine.
+    pub(crate) fn wake_terminal(&mut self, t: usize, now: u64) {
+        let nr = self.routers.len();
+        if let Some(ev) = &mut self.event {
+            ev.queue.schedule(now, (nr + t) as u32, EventKind::Wake);
+        }
+    }
+
+    /// Event engine: earliest pending wake time, if any.
+    pub(crate) fn next_event_time(&mut self) -> Option<u64> {
+        self.event.as_mut().and_then(|ev| ev.queue.next_time())
+    }
+
+    /// Event engine: fault actions and fault fallout mutate state outside
+    /// the sink discipline (channel kills, direct credit sends from the
+    /// reaper, credit rebuilds at revival), so resynchronize
+    /// conservatively: wake every endpoint at `now` and both consumers of
+    /// every channel one latency out, covering sends made behind the
+    /// queue's back. Spurious wakes are no-op ticks, so over-scheduling
+    /// never perturbs results.
+    pub(crate) fn fault_resync(&mut self, now: u64) {
+        let n = (self.routers.len() + self.terminals.len()) as u32;
+        if let Some(ev) = &mut self.event {
+            for e in 0..n {
+                ev.queue.schedule(now, e, EventKind::Fault);
+            }
+            // Catch the wheel up (cycles before `now` already had their
+            // consumers ticked) so the maturity pushes below are in range.
+            ev.chan_wheel.advance_below(now, &mut self.channels);
+            for ch in 0..ev.chan_latency.len() {
+                let t = now + ev.chan_latency[ch];
+                ev.queue.schedule(t, ev.flit_consumer[ch], EventKind::Fault);
+                ev.queue
+                    .schedule(t, ev.credit_consumer[ch], EventKind::Fault);
+                ev.chan_wheel.push(t, ch, true);
+                ev.chan_wheel.push(t, ch, false);
+            }
         }
     }
 
@@ -216,80 +392,203 @@ impl Network {
             ch.discard_arrived(now);
         }
         for sink in &mut self.sinks[..n_shards] {
-            // Each channel has exactly one flit-sending and one
-            // credit-sending endpoint, so replaying per-endpoint outboxes
-            // in id order reproduces the serial engine's wire order.
-            for &(ch, flit, vc) in &sink.flits {
-                self.channels[ch].send_flit(now, flit, vc);
+            commit_sink(
+                sink,
+                &mut self.channels,
+                pool,
+                stats,
+                delivered,
+                &mut trace,
+                &mut metrics,
+                now,
+                &mut |_, _| {},
+            );
+        }
+    }
+
+    /// Advances one cycle under the event engine: pops the due endpoint
+    /// set, ticks exactly those endpoints (sharded like [`Self::tick`]),
+    /// and reschedules. Arrival wakes are planted at commit time — one per
+    /// wire send, at `now + channel latency` — so a sleeping endpoint is
+    /// always awake at the exact cycle an arrival matures; self-wakes come
+    /// from [`Router::next_wake`] / `Terminal::is_active` after the tick.
+    ///
+    /// Bit-identity with the cycle engine holds because a non-due endpoint
+    /// is provably a no-op under the cycle engine that cycle (no matured
+    /// arrivals, no buffered or queued work — and no randomness is drawn
+    /// on those paths), and due endpoints run the identical compute/commit
+    /// code in the identical id order.
+    #[allow(clippy::too_many_lines)]
+    pub fn tick_event(
+        &mut self,
+        now: u64,
+        pool: &mut PacketPool,
+        stats: &mut Stats,
+        delivered: &mut Vec<Delivered>,
+        mut trace: Option<&mut Trace>,
+        mut metrics: Option<&mut Metrics>,
+    ) {
+        let mut ev = self.event.take().expect("tick_event without event state");
+        let mut tick_set = std::mem::take(&mut ev.tick_set);
+        ev.queue.pop_due(now, &mut tick_set);
+        ev.events_processed += tick_set.len() as u64;
+        if tick_set.is_empty() {
+            ev.tick_set = tick_set;
+            self.event = Some(ev);
+            return;
+        }
+
+        let threads = self.cfg.tick_threads.max(1);
+        let want_trace = trace.is_some();
+        let want_metrics = metrics.is_some();
+        let timed = metrics.as_ref().is_some_and(|m| m.timers_enabled());
+
+        let nr = self.routers.len();
+        let split = tick_set.partition_point(|&e| (e as usize) < nr);
+        let (r_ids, t_ids) = tick_set.split_at(split);
+
+        // Gather mutable references to exactly the due endpoints, in id
+        // order (one linear walk; the tick set is sorted).
+        let mut r_refs: Vec<&mut Router> = Vec::with_capacity(r_ids.len());
+        {
+            let mut want = r_ids.iter().map(|&e| e as usize).peekable();
+            for (i, r) in self.routers.iter_mut().enumerate() {
+                if want.peek() == Some(&i) {
+                    want.next();
+                    r_refs.push(r);
+                }
             }
-            for &(ch, vc) in &sink.credits {
-                self.channels[ch].send_credit(now, vc);
+        }
+        let mut t_refs: Vec<&mut Terminal> = Vec::with_capacity(t_ids.len());
+        {
+            let mut want = t_ids.iter().map(|&e| e as usize - nr).peekable();
+            for (i, t) in self.terminals.iter_mut().enumerate() {
+                if want.peek() == Some(&i) {
+                    want.next();
+                    t_refs.push(t);
+                }
             }
-            // Pool replay keeps the free list (and therefore future
-            // PacketIds, which feed age-arbitration tie-breaks)
-            // thread-count-invariant.
-            for op in sink.pool_ops.drain(..) {
-                match op {
-                    PoolOp::Created(id) => pool.note_flit_created(id),
-                    PoolOp::Gone(id) => pool.note_flit_gone(id),
-                    PoolOp::Release(id) => pool.release(id),
-                    PoolOp::Commit {
-                        pkt,
-                        commit,
-                        count_hop,
-                    } => {
-                        let p = pool.get_mut(pkt);
-                        apply_commit(&mut p.route, commit);
-                        if count_hop {
-                            p.hops = p.hops.saturating_add(1);
+        }
+
+        let r_chunk = r_refs.len().div_ceil(threads).max(1);
+        let t_chunk = t_refs.len().div_ceil(threads).max(1);
+        let n_rshards = r_refs.len().div_ceil(r_chunk);
+        let n_shards = n_rshards + t_refs.len().div_ceil(t_chunk);
+        if self.sinks.len() < n_shards {
+            self.sinks.resize_with(n_shards, TickSink::default);
+        }
+        for s in &mut self.sinks[..n_shards] {
+            s.reset(want_trace, want_metrics, timed);
+        }
+
+        // ---- Compute phase: due endpoints only, same two-phase
+        // discipline as the cycle engine. ----
+        {
+            let topo = &*self.topo;
+            let algo = &*self.algo;
+            let channels = &self.channels[..];
+            let pool_view = &*pool;
+            let (r_sinks, t_sinks) = self.sinks[..n_shards].split_at_mut(n_rshards);
+            if threads == 1 {
+                for (shard, sink) in r_refs.chunks_mut(r_chunk).zip(r_sinks) {
+                    for r in shard {
+                        r.tick(now, topo, algo, pool_view, channels, sink);
+                    }
+                }
+                for (shard, sink) in t_refs.chunks_mut(t_chunk).zip(t_sinks) {
+                    let mut stamp = timed.then(std::time::Instant::now);
+                    for t in shard {
+                        t.tick(now, pool_view, channels, sink);
+                    }
+                    crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
+                }
+            } else {
+                enum Shard<'a, 'b> {
+                    Routers(&'a mut [&'b mut Router], &'a mut TickSink),
+                    Terminals(&'a mut [&'b mut Terminal], &'a mut TickSink),
+                }
+                let tasks: Vec<Mutex<Option<Shard>>> = r_refs
+                    .chunks_mut(r_chunk)
+                    .zip(r_sinks.iter_mut())
+                    .map(|(c, s)| Mutex::new(Some(Shard::Routers(c, s))))
+                    .chain(
+                        t_refs
+                            .chunks_mut(t_chunk)
+                            .zip(t_sinks.iter_mut())
+                            .map(|(c, s)| Mutex::new(Some(Shard::Terminals(c, s)))),
+                    )
+                    .collect();
+                let run_shard = |i: usize| {
+                    let task = tasks[i].lock().unwrap().take();
+                    match task.expect("shard claimed twice") {
+                        Shard::Routers(shard, sink) => {
+                            for r in shard {
+                                r.tick(now, topo, algo, pool_view, channels, sink);
+                            }
+                        }
+                        Shard::Terminals(shard, sink) => {
+                            let mut stamp = timed.then(std::time::Instant::now);
+                            for t in shard {
+                                t.tick(now, pool_view, channels, sink);
+                            }
+                            crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
                         }
                     }
-                    PoolOp::Inject { pkt, cycle } => pool.get_mut(pkt).inject = cycle,
-                    PoolOp::HopPoison(pkt) => poison_packet(
-                        pool,
-                        stats,
-                        trace.as_deref_mut(),
-                        pkt,
-                        now,
-                        DropReason::HopCap,
-                    ),
-                }
+                };
+                let exec = self.exec.get_or_insert_with(|| TickPool::new(threads - 1));
+                exec.run(tasks.len(), &run_shard);
             }
-            stats.merge_delta(&sink.stats);
-            if let Some(t) = trace.as_deref_mut() {
-                for &h in &sink.hops {
-                    t.record(h);
-                }
-            }
-            if let Some(m) = metrics.as_deref_mut() {
-                for ev in &sink.events {
-                    match *ev {
-                        MetricEvent::Grant {
-                            router,
-                            out_port,
-                            oldest,
-                            ejection,
-                            nonminimal,
-                            commit_dim,
-                        } => m.on_grant(
-                            router as usize,
-                            out_port as usize,
-                            oldest,
-                            ejection,
-                            nonminimal,
-                            commit_dim.map(|d| d as usize),
-                        ),
-                        MetricEvent::Stall {
-                            router,
-                            out_port,
-                            credit_starved,
-                        } => m.on_alloc_stall(router as usize, out_port as usize, credit_starved),
-                    }
-                }
-                m.timers.accumulate(&sink.timers);
-            }
-            delivered.append(&mut sink.delivered);
         }
+        drop(r_refs);
+        drop(t_refs);
+
+        // ---- Commit phase: serial, in endpoint-id order. ----
+        // Discard exactly the arrivals that matured by `now`: their
+        // consumers are in the tick set (arrival wakes guarantee it) and
+        // observed them through the immutable view during compute.
+        ev.chan_wheel.drain_discard(now, &mut self.channels);
+        {
+            // Replaying sends also plants the arrival wake for each one.
+            let ev = &mut *ev;
+            let mut on_send = |ch: usize, is_flit: bool| {
+                let t = now + ev.chan_latency[ch];
+                ev.chan_wheel.push(t, ch, is_flit);
+                if is_flit {
+                    ev.queue
+                        .schedule(t, ev.flit_consumer[ch], EventKind::FlitArrival);
+                } else {
+                    ev.queue
+                        .schedule(t, ev.credit_consumer[ch], EventKind::CreditArrival);
+                }
+            };
+            for sink in &mut self.sinks[..n_shards] {
+                commit_sink(
+                    sink,
+                    &mut self.channels,
+                    pool,
+                    stats,
+                    delivered,
+                    &mut trace,
+                    &mut metrics,
+                    now,
+                    &mut on_send,
+                );
+            }
+        }
+
+        // Self-reschedule the ticked endpoints from their post-tick state.
+        for &e in r_ids {
+            if let Some(t) = self.routers[e as usize].next_wake(now) {
+                ev.queue.schedule(t, e, EventKind::Wake);
+            }
+        }
+        for &e in t_ids {
+            if self.terminals[e as usize - nr].is_active() {
+                ev.queue.schedule(now + 1, e, EventKind::Wake);
+            }
+        }
+        ev.tick_set = tick_set;
+        self.event = Some(ev);
     }
 
     /// Resolves the far end of a router-to-router link.
@@ -436,18 +735,22 @@ impl Network {
 
     /// Sweeps fault fallout: drains dead channels' drop bins (poisoning the
     /// owning packets) and reaps every poisoned buffer from routers and
-    /// terminals. Cheap when nothing is poisoned.
+    /// terminals. Cheap when nothing is poisoned. Returns whether anything
+    /// happened (the event engine resynchronizes its wake state when so —
+    /// the reaper sends credits outside the sink discipline).
     pub fn collect_fault_fallout(
         &mut self,
         now: u64,
         pool: &mut PacketPool,
         stats: &mut Stats,
         mut trace: Option<&mut Trace>,
-    ) {
+    ) -> bool {
+        let mut acted = false;
         for ch in 0..self.channels.len() {
             if !self.channels[ch].has_dead_drops() {
                 continue;
             }
+            acted = true;
             for (flit, _) in self.channels[ch].take_dead_drops() {
                 poison_packet(
                     pool,
@@ -462,6 +765,7 @@ impl Network {
             }
         }
         if pool.any_poisoned() {
+            acted = true;
             for r in &mut self.routers {
                 r.reap_poisoned(now, pool, stats, &mut self.channels);
             }
@@ -469,6 +773,7 @@ impl Network {
                 t.reap_poisoned(pool);
             }
         }
+        acted
     }
 
     /// Access to a terminal (injection queues).
@@ -567,6 +872,100 @@ impl Network {
         }
         errs
     }
+}
+
+/// Replays one shard's outbox against the shared state: wire sends, pool
+/// ops, stats merge, trace hops, metric events, deliveries. Each channel
+/// has exactly one flit-sending and one credit-sending endpoint, so
+/// replaying per-endpoint outboxes in id order reproduces the serial
+/// engine's wire order at any thread count.
+///
+/// `on_send(channel, is_flit)` fires for every flit/credit put on a wire:
+/// the event engine plants arrival wakes there, the cycle engine passes a
+/// no-op. Pool replay keeps the free list (and therefore future
+/// `PacketId`s, which feed age-arbitration tie-breaks) invariant across
+/// thread counts and engines.
+#[allow(clippy::too_many_arguments)]
+fn commit_sink(
+    sink: &mut TickSink,
+    channels: &mut [Channel],
+    pool: &mut PacketPool,
+    stats: &mut Stats,
+    delivered: &mut Vec<Delivered>,
+    trace: &mut Option<&mut Trace>,
+    metrics: &mut Option<&mut Metrics>,
+    now: u64,
+    on_send: &mut dyn FnMut(usize, bool),
+) {
+    for &(ch, flit, vc) in &sink.flits {
+        channels[ch].send_flit(now, flit, vc);
+        on_send(ch, true);
+    }
+    for &(ch, vc) in &sink.credits {
+        channels[ch].send_credit(now, vc);
+        on_send(ch, false);
+    }
+    for op in sink.pool_ops.drain(..) {
+        match op {
+            PoolOp::Created(id) => pool.note_flit_created(id),
+            PoolOp::Gone(id) => pool.note_flit_gone(id),
+            PoolOp::Release(id) => pool.release(id),
+            PoolOp::Commit {
+                pkt,
+                commit,
+                count_hop,
+            } => {
+                let p = pool.get_mut(pkt);
+                apply_commit(&mut p.route, commit);
+                if count_hop {
+                    p.hops = p.hops.saturating_add(1);
+                }
+            }
+            PoolOp::Inject { pkt, cycle } => pool.get_mut(pkt).inject = cycle,
+            PoolOp::HopPoison(pkt) => poison_packet(
+                pool,
+                stats,
+                trace.as_deref_mut(),
+                pkt,
+                now,
+                DropReason::HopCap,
+            ),
+        }
+    }
+    stats.merge_delta(&sink.stats);
+    if let Some(t) = trace.as_deref_mut() {
+        for &h in &sink.hops {
+            t.record(h);
+        }
+    }
+    if let Some(m) = metrics.as_deref_mut() {
+        for ev in &sink.events {
+            match *ev {
+                MetricEvent::Grant {
+                    router,
+                    out_port,
+                    oldest,
+                    ejection,
+                    nonminimal,
+                    commit_dim,
+                } => m.on_grant(
+                    router as usize,
+                    out_port as usize,
+                    oldest,
+                    ejection,
+                    nonminimal,
+                    commit_dim.map(|d| d as usize),
+                ),
+                MetricEvent::Stall {
+                    router,
+                    out_port,
+                    credit_starved,
+                } => m.on_alloc_stall(router as usize, out_port as usize, credit_starved),
+            }
+        }
+        m.timers.accumulate(&sink.timers);
+    }
+    delivered.append(&mut sink.delivered);
 }
 
 #[cfg(test)]

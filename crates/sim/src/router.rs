@@ -157,6 +157,9 @@ pub struct Router {
     rng: SmallRng,
     /// Total flits buffered on the input side (fast-path skip).
     flits_buffered: u32,
+    /// Flits buffered per input port (skips the per-port VC/buffer scans
+    /// in allocation and switch traversal when a port holds nothing).
+    port_flits: Vec<u32>,
     // Scratch buffers reused every cycle.
     heads: Vec<(u64, PacketId, u16, u8)>,
     cands: Vec<Candidate>,
@@ -194,6 +197,7 @@ impl Router {
             hop_cap: cfg.max_packet_hops,
             rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             flits_buffered: 0,
+            port_flits: vec![0; num_ports],
             heads: Vec::new(),
             cands: Vec::new(),
         }
@@ -212,6 +216,24 @@ impl Router {
     /// Whether the router holds no work at all (fast-path skip helper).
     pub fn is_idle(&self) -> bool {
         self.flits_buffered == 0 && self.xbar.is_empty() && self.out_backlog.iter().all(|&b| b == 0)
+    }
+
+    /// Event engine: the next cycle this router must tick, given it just
+    /// ticked at `now`. `None` means fully asleep — only an arrival wake
+    /// (flit or credit) can reactivate it, and credits alone never can:
+    /// a sleeping router has no buffered flits, so absorbed credits don't
+    /// enable any work (allocation acts only on buffered heads).
+    ///
+    /// Buffered input flits or queued output flits mean per-cycle work
+    /// (routing draws randomness, links send one flit per cycle), so the
+    /// router stays awake; with only crossbar-pipe flits in flight it
+    /// sleeps until the earliest maturity (the pipe is pushed in
+    /// monotonically increasing ready order, so the front is the minimum).
+    pub(crate) fn next_wake(&self, now: u64) -> Option<u64> {
+        if self.flits_buffered > 0 || self.out_q.iter().any(|q| !q.is_empty()) {
+            return Some(now + 1);
+        }
+        self.xbar.front().map(|&(t, ..)| t.max(now + 1))
     }
 
     /// Downstream credits for `(port, vc)` (test/invariant support).
@@ -326,6 +348,7 @@ impl Router {
                     debug_assert_eq!(back.pkt, flit.pkt, "packets interleaved on one VC");
                     back.flits.push_back(flit);
                     self.flits_buffered += 1;
+                    self.port_flits[port] += 1;
                     sink.stats.flit_moves += 1;
                 }
             }
@@ -365,6 +388,12 @@ impl Router {
         let mut heads = std::mem::take(&mut self.heads);
         heads.clear();
         for port in 0..self.num_ports {
+            // An unrouted packet with buffered flits implies a buffered
+            // flit on this port (routed packets may sit empty mid-stream,
+            // unrouted ones cannot), so empty ports have no heads.
+            if self.port_flits[port] == 0 {
+                continue;
+            }
             for vc in 0..self.num_vcs {
                 let i = self.pv(port, vc);
                 if let Some(buf) = self.in_q[i].iter().find(|b| b.route.is_none()) {
@@ -637,6 +666,9 @@ impl Router {
         let any_poisoned = pool.any_poisoned();
         for port in 0..self.num_ports {
             for _ in 0..self.xbar_speedup {
+                if self.port_flits[port] == 0 {
+                    break;
+                }
                 // Oldest routed packet with buffered flits on this input
                 // port, across all VCs and queue positions.
                 let mut pick: Option<(u64, PacketId, usize, usize)> = None;
@@ -662,6 +694,7 @@ impl Router {
                 let flit = buf.flits.pop_front().expect("picked a non-empty packet");
                 buf.sent += 1;
                 self.flits_buffered -= 1;
+                self.port_flits[port] -= 1;
                 sink.stats.flit_moves += 1;
                 if flit.is_tail() {
                     self.in_q[i].remove(bi);
@@ -787,6 +820,7 @@ impl Router {
                     }
                     for flit in buf.flits {
                         self.flits_buffered -= 1;
+                        self.port_flits[port] -= 1;
                         stats.dropped_flits += 1;
                         if let Some(ch) = self.in_chan[port] {
                             channels[ch].send_credit(now, vc as u8);

@@ -175,6 +175,15 @@ impl Sim {
         });
         self.stats.record_generation(desc.len);
         self.net.terminal_mut(desc.src as usize).enqueue(id);
+        // The terminal has injection work this cycle (wake is a no-op
+        // under the cycle engine).
+        self.net.wake_terminal(desc.src as usize, self.now);
+    }
+
+    /// Endpoint wakes executed so far (0 under the cycle engine, which
+    /// ticks everything every cycle instead of processing wake events).
+    pub fn events_processed(&self) -> u64 {
+        self.net.events_processed()
     }
 
     /// The retransmission transport's counters, if enabled.
@@ -185,10 +194,13 @@ impl Sim {
     /// Advances one cycle under `workload`.
     pub fn step(&mut self, workload: &mut dyn Workload) {
         let now = self.now;
+        let event_engine = self.net.engine_is_event();
         // Scheduled faults land at the start of their cycle.
+        let mut fault_acted = false;
         if let Some(mut schedule) = self.fault_schedule.take() {
             while let Some(action) = schedule.pop_due(now) {
                 self.fault_mode = true;
+                fault_acted = true;
                 self.net.apply_fault(
                     action,
                     now,
@@ -201,12 +213,17 @@ impl Sim {
         }
         if self.pool.any_poisoned() {
             // Reap the kill's casualties before they are ticked.
-            self.net.collect_fault_fallout(
+            fault_acted |= self.net.collect_fault_fallout(
                 now,
                 &mut self.pool,
                 &mut self.stats,
                 self.trace.as_mut(),
             );
+        }
+        if event_engine && fault_acted {
+            // Faults mutate wires and credits outside the sink discipline;
+            // rebuild conservative wake coverage before ticking.
+            self.net.fault_resync(now);
         }
 
         // Retransmissions fire before the workload injects: recovery
@@ -230,14 +247,25 @@ impl Sim {
 
         let mut delivered = std::mem::take(&mut self.delivered_buf);
         delivered.clear();
-        self.net.tick(
-            self.now,
-            &mut self.pool,
-            &mut self.stats,
-            &mut delivered,
-            self.trace.as_mut(),
-            self.metrics.as_deref_mut(),
-        );
+        if event_engine {
+            self.net.tick_event(
+                self.now,
+                &mut self.pool,
+                &mut self.stats,
+                &mut delivered,
+                self.trace.as_mut(),
+                self.metrics.as_deref_mut(),
+            );
+        } else {
+            self.net.tick(
+                self.now,
+                &mut self.pool,
+                &mut self.stats,
+                &mut delivered,
+                self.trace.as_mut(),
+                self.metrics.as_deref_mut(),
+            );
+        }
         for d in &delivered {
             // Duplicate suppression: with the transport on, only the
             // first copy of each sequence reaches the workload.
@@ -261,12 +289,15 @@ impl Sim {
         }
 
         if self.fault_mode {
-            self.net.collect_fault_fallout(
+            let acted = self.net.collect_fault_fallout(
                 now,
                 &mut self.pool,
                 &mut self.stats,
                 self.trace.as_mut(),
             );
+            if event_engine && acted {
+                self.net.fault_resync(now);
+            }
             // With faults settled and nothing mid-drop, flow control must
             // balance exactly (debug builds only; the audit walks every
             // channel).
@@ -340,14 +371,101 @@ impl Sim {
         }
     }
 
-    /// Advances `cycles` cycles, stopping early on a watchdog abort.
+    /// Event engine: fast-forwards `self.now` over cycles that provably
+    /// execute nothing — no due endpoint wake, no workload activity, no
+    /// fault event, no retransmission deadline, no metrics sample boundary
+    /// — never past `deadline`. The watchdog's stall accounting advances
+    /// exactly as if the dead cycles had been stepped one by one, and the
+    /// skip stops at the precise cycle a stall report would fire so the
+    /// report's cycle matches the cycle engine's bit for bit.
+    fn skip_dead_cycles(&mut self, workload: &dyn Workload, deadline: u64) {
+        if self.pool.any_poisoned() {
+            return; // fallout sweeps run per-cycle until poisons clear
+        }
+        let now = self.now;
+        let mut target = deadline.min(workload.next_active_cycle(now));
+        if let Some(s) = &self.fault_schedule {
+            if let Some(c) = s.next_cycle() {
+                target = target.min(c);
+            }
+        }
+        if let Some(t) = &self.transport {
+            target = target.min(t.next_due());
+        }
+        if let Some(t) = self.net.next_event_time() {
+            target = target.min(t);
+        }
+        if let Some(m) = &self.metrics {
+            target = target.min(m.next_sample_cycle(now));
+        }
+        if target <= now {
+            return;
+        }
+        if self.pool.live() == 0 {
+            // Dead cycles with nothing live reset the streak every cycle.
+            self.last_flit_moves = self.stats.flit_moves;
+            self.stall_streak = 0;
+            self.now = target;
+            return;
+        }
+        // With packets live, the streak at the end of skipped cycle
+        // `now + i` would be `i` (when the last executed cycle made
+        // progress, resetting at i = 0) or `stall_streak + 1 + i`; cap the
+        // skip at the cycle the watchdog would fire and let a real step
+        // execute it, so the report is built at the legacy cycle.
+        let threshold = self.net.cfg.watchdog_stall_cycles;
+        let changed = self.stats.flit_moves != self.last_flit_moves;
+        let fire_cycle = if changed {
+            now + threshold
+        } else {
+            now + threshold - self.stall_streak - 1
+        };
+        target = target.min(fire_cycle);
+        if target <= now {
+            return;
+        }
+        let skipped = target - now;
+        if changed {
+            self.last_flit_moves = self.stats.flit_moves;
+            self.stall_streak = skipped - 1;
+        } else {
+            self.stall_streak += skipped;
+        }
+        self.now = target;
+    }
+
+    /// One `run`-loop iteration: skip dead cycles (event engine only),
+    /// then execute one real cycle unless the skip consumed the remaining
+    /// budget.
+    fn advance(&mut self, workload: &mut dyn Workload, deadline: u64) {
+        if self.net.engine_is_event() {
+            self.skip_dead_cycles(workload, deadline);
+            if self.now >= deadline {
+                return;
+            }
+        }
+        self.step(workload);
+    }
+
+    /// Advances `cycles` cycles, stopping early on a watchdog abort. Under
+    /// the event engine, dead cycles within the budget are skipped rather
+    /// than executed; the final cycle count and all results are identical.
     pub fn run(&mut self, workload: &mut dyn Workload, cycles: u64) {
-        for _ in 0..cycles {
-            self.step(workload);
+        let deadline = self.now + cycles;
+        while self.now < deadline {
+            self.advance(workload, deadline);
             if self.watchdog.is_some() {
                 break;
             }
         }
+    }
+
+    /// The `run_to_completion` termination condition.
+    fn completed(&self, workload: &dyn Workload) -> bool {
+        workload.is_done()
+            && self.pool.live() == 0
+            && self.net.is_drained()
+            && self.transport.as_ref().is_none_or(|t| t.is_idle())
     }
 
     /// Runs until the workload reports done *and* the network drains, or
@@ -361,15 +479,18 @@ impl Sim {
     ) -> Option<u64> {
         let deadline = self.now + max_cycles;
         while self.now < deadline {
-            self.step(workload);
+            if self.completed(&*workload) {
+                // Already complete at entry: take one plain step (the
+                // cycle engine always steps before checking) instead of
+                // skipping ahead, so the returned cycle matches it.
+                self.step(workload);
+            } else {
+                self.advance(workload, deadline);
+            }
             if self.watchdog.is_some() {
                 return None;
             }
-            if workload.is_done()
-                && self.pool.live() == 0
-                && self.net.is_drained()
-                && self.transport.as_ref().is_none_or(|t| t.is_idle())
-            {
+            if self.completed(&*workload) {
                 return Some(self.now);
             }
         }

@@ -69,6 +69,15 @@ impl Terminal {
         self.inj_q.push_back(pkt);
     }
 
+    /// Event engine: whether this terminal must tick next cycle. An active
+    /// terminal (serializing or with queued packets) draws randomness and
+    /// may send a flit every cycle; an inactive one only reacts to arrivals
+    /// (flits to eject, credits to absorb), which arrival wakes cover —
+    /// absorbed credits alone never create work without a queued packet.
+    pub(crate) fn is_active(&self) -> bool {
+        self.cur.is_some() || !self.inj_q.is_empty()
+    }
+
     /// One simulation cycle's compute phase: absorb credits, consume
     /// arriving flits (recording deliveries), and push at most one flit
     /// into the network. Like `Router::tick`, reads the pre-cycle channel

@@ -261,6 +261,18 @@ impl Transport {
         self.active == 0
     }
 
+    /// Earliest cycle a retransmission can fire (`u64::MAX` when idle).
+    /// May be conservatively *early* after a delivery (the pump scan
+    /// recomputes it), never late — so the event engine can safely skip
+    /// dead cycles up to this bound.
+    pub fn next_due(&self) -> u64 {
+        if self.active == 0 {
+            u64::MAX
+        } else {
+            self.next_due
+        }
+    }
+
     /// Logical packets still awaiting their first delivery (including
     /// abandoned ones).
     pub fn undelivered(&self) -> usize {

@@ -66,6 +66,15 @@ pub trait Workload {
     fn is_done(&self) -> bool {
         false
     }
+
+    /// The earliest cycle `>= now` at which `pre_cycle` must run. The
+    /// event engine skips dead cycles only up to this bound, so a workload
+    /// that draws randomness or injects every cycle keeps the default
+    /// (`now` — always active); a quiescent workload may return
+    /// `u64::MAX` to let the engine fast-forward through drain phases.
+    fn next_active_cycle(&self, now: u64) -> u64 {
+        now
+    }
 }
 
 /// A workload that injects nothing — used to drain a network in tests.
@@ -73,4 +82,8 @@ pub struct IdleWorkload;
 
 impl Workload for IdleWorkload {
     fn pre_cycle(&mut self, _now: u64, _inject: &mut dyn FnMut(PacketDesc) -> bool) {}
+
+    fn next_active_cycle(&self, _now: u64) -> u64 {
+        u64::MAX
+    }
 }

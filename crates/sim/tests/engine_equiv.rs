@@ -1,0 +1,295 @@
+//! Differential equivalence harness: the event-driven engine must be
+//! bit-identical to the legacy cycle-stepped engine.
+//!
+//! Matrix: {DimWAR, OmniWAR, UGAL, FT-WAR} x {UR, DCR} x load {0.1, 0.7}
+//! x {fault-free, link+router kill/revive, retransmission on}. For every
+//! cell the legacy engine at one thread is the reference; the event
+//! engine at threads {1, 4} and the legacy engine at 4 threads must all
+//! reproduce the same aggregate stats, the same deterministic metrics
+//! JSONL byte for byte, and the same per-packet delivery sequence.
+//!
+//! hxsim cannot depend on hxtraffic, so the UR and DCR destination rules
+//! are re-derived here over a reversal-symmetric HyperX with a local
+//! splitmix64 stream — deterministic by construction, so both engines see
+//! the exact same offered traffic.
+
+use std::sync::Arc;
+
+use hxcore::{hyperx_algorithm, RoutingAlgorithm};
+use hxsim::{
+    Delivered, Engine, FaultSchedule, MetricsConfig, PacketDesc, Sim, SimConfig, Workload,
+};
+use hxtopo::{HyperX, Topology};
+
+const ALGOS: [&str; 4] = ["DimWAR", "OmniWAR", "UGAL", "FT-WAR"];
+const PATTERNS: [Pattern; 2] = [Pattern::Ur, Pattern::Dcr];
+const LOADS: [f64; 2] = [0.1, 0.7];
+const CYCLES: u64 = 600;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Pattern {
+    Ur,
+    Dcr,
+}
+
+impl Pattern {
+    fn name(self) -> &'static str {
+        match self {
+            Pattern::Ur => "UR",
+            Pattern::Dcr => "DCR",
+        }
+    }
+
+    /// Destination for `src`, mirroring hxtraffic's UR (uniform excluding
+    /// self) and DCR (reverse-complement all but the last dimension,
+    /// randomize the last) rules.
+    fn dest(self, hx: &HyperX, src: usize, rng: &mut u64) -> usize {
+        let n = hx.num_terminals();
+        match self {
+            Pattern::Ur => {
+                let d = (splitmix64(rng) % (n as u64 - 1)) as usize;
+                if d >= src {
+                    d + 1
+                } else {
+                    d
+                }
+            }
+            Pattern::Dcr => {
+                let t = hx.terms_per_router();
+                let sc = hx.coord_of(src / t);
+                let nd = hx.dims();
+                let mut c = sc;
+                for d in 0..nd - 1 {
+                    let from = nd - 1 - d;
+                    c.set(d, hx.width(from) - 1 - sc.get(from));
+                }
+                c.set(nd - 1, (splitmix64(rng) % hx.width(nd - 1) as u64) as usize);
+                hx.terminal_id(hx.router_at(&c), (splitmix64(rng) % t as u64) as usize)
+            }
+        }
+    }
+}
+
+/// Bernoulli open-loop injection driven by a splitmix64 stream, recording
+/// every delivery notification for exact cross-engine comparison.
+struct RecordingTraffic {
+    hx: Arc<HyperX>,
+    pattern: Pattern,
+    /// Probability scaled to u64: inject when draw < threshold.
+    threshold: u64,
+    rng: u64,
+    next_tag: u64,
+    delivered: Vec<DeliveredRow>,
+}
+
+/// One delivery notification, every field the engines must agree on:
+/// (src, dst, len, tag, birth, inject, latency, net_latency, hops).
+type DeliveredRow = (u32, u32, u16, u64, u64, u64, u64, u64, u8);
+
+impl RecordingTraffic {
+    fn new(hx: Arc<HyperX>, pattern: Pattern, load: f64, seed: u64) -> Self {
+        // Mean packet length 4 flits: per-cycle packet probability load/4.
+        let threshold = ((load / 4.0) * u64::MAX as f64) as u64;
+        RecordingTraffic {
+            hx,
+            pattern,
+            threshold,
+            rng: seed,
+            next_tag: 0,
+            delivered: Vec::new(),
+        }
+    }
+}
+
+impl Workload for RecordingTraffic {
+    fn pre_cycle(&mut self, _now: u64, inject: &mut dyn FnMut(PacketDesc) -> bool) {
+        for t in 0..self.hx.num_terminals() {
+            if splitmix64(&mut self.rng) < self.threshold {
+                let len = (splitmix64(&mut self.rng) % 7 + 1) as u16;
+                let dst = self.pattern.dest(&self.hx, t, &mut self.rng) as u32;
+                let _ = inject(PacketDesc {
+                    src: t as u32,
+                    dst,
+                    len,
+                    tag: self.next_tag,
+                });
+                self.next_tag += 1;
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, d: &Delivered, _now: u64) {
+        self.delivered.push((
+            d.src,
+            d.dst,
+            d.len,
+            d.tag,
+            d.birth,
+            d.inject,
+            d.latency,
+            d.net_latency,
+            d.hops,
+        ));
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Scenario {
+    FaultFree,
+    Faults,
+    Retransmit,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::FaultFree => "fault-free",
+            Scenario::Faults => "faults",
+            Scenario::Retransmit => "retransmit",
+        }
+    }
+}
+
+/// Everything the two engines must agree on, byte for byte.
+struct RunOutcome {
+    stats: (u64, u64, u64, u64, u64, u64, u64, u64, u64),
+    metrics_jsonl: String,
+    delivered: Vec<DeliveredRow>,
+}
+
+fn run_once(
+    algo_name: &str,
+    pattern: Pattern,
+    load: f64,
+    scenario: Scenario,
+    engine: Engine,
+    threads: usize,
+) -> RunOutcome {
+    let hx = Arc::new(HyperX::uniform(2, 3, 2));
+    let algo: Arc<dyn RoutingAlgorithm> = hyperx_algorithm(algo_name, hx.clone(), 8)
+        .expect("registered algorithm")
+        .into();
+    let mut cfg = SimConfig {
+        buf_flits: 32,
+        crossbar_latency: 5,
+        router_chan_latency: 8,
+        term_chan_latency: 2,
+        engine,
+        tick_threads: threads,
+        ..SimConfig::default()
+    };
+    if matches!(scenario, Scenario::Retransmit) {
+        cfg.retransmit_timeout = 250;
+        cfg.retransmit_max_retries = 3;
+    }
+    let mut sim = Sim::new(hx.clone(), algo, cfg, 17);
+    sim.enable_metrics(MetricsConfig {
+        sample_interval: 200,
+        timers: false,
+    });
+    match scenario {
+        Scenario::FaultFree => {}
+        Scenario::Faults => {
+            let port = (0..hx.num_ports(1))
+                .find(|&p| matches!(hx.port_target(1, p), hxtopo::PortTarget::Router { .. }))
+                .expect("router 1 has a network port");
+            sim.set_fault_schedule(
+                FaultSchedule::new()
+                    .kill_link_at(100, 1, port)
+                    .kill_router_at(180, 4)
+                    .revive_router_at(380, 4)
+                    .revive_link_at(430, 1, port),
+            );
+        }
+        // A transient router kill drops in-flight packets so the
+        // source-retransmission path actually re-sends.
+        Scenario::Retransmit => sim.set_fault_schedule(
+            FaultSchedule::new()
+                .kill_router_at(120, 4)
+                .revive_router_at(300, 4),
+        ),
+    }
+    let mut wl = RecordingTraffic::new(hx, pattern, load, 0xE11A_5EED ^ load.to_bits());
+    sim.run(&mut wl, CYCLES);
+    let s = &sim.stats;
+    RunOutcome {
+        stats: (
+            s.total_generated_flits,
+            s.total_delivered_flits,
+            s.total_delivered_packets,
+            s.latency_sum,
+            s.net_latency_sum,
+            s.latency_max,
+            s.hops_sum,
+            s.dropped_flits,
+            s.flit_moves,
+        ),
+        metrics_jsonl: sim
+            .metrics()
+            .expect("metrics enabled")
+            .deterministic_jsonl(),
+        delivered: wl.delivered,
+    }
+}
+
+fn check_matrix(scenario: Scenario) {
+    for algo in ALGOS {
+        for pattern in PATTERNS {
+            for load in LOADS {
+                let cell = format!("{algo}/{}/load={load}/{}", pattern.name(), scenario.name());
+                let reference = run_once(algo, pattern, load, scenario, Engine::Cycle, 1);
+                assert!(
+                    reference.stats.2 > 0,
+                    "{cell}: reference run delivered nothing — matrix cell is vacuous"
+                );
+                for (engine, threads, label) in [
+                    (Engine::Event, 1, "event@1"),
+                    (Engine::Event, 4, "event@4"),
+                    (Engine::Cycle, 4, "cycle@4"),
+                ] {
+                    let got = run_once(algo, pattern, load, scenario, engine, threads);
+                    assert_eq!(
+                        got.stats, reference.stats,
+                        "{cell}: {label} stats diverge from cycle@1"
+                    );
+                    assert_eq!(
+                        got.metrics_jsonl, reference.metrics_jsonl,
+                        "{cell}: {label} metrics stream diverges from cycle@1"
+                    );
+                    assert_eq!(
+                        got.delivered, reference.delivered,
+                        "{cell}: {label} delivery sequence diverges from cycle@1"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fault-free matrix: both engines, both thread counts, all algorithms,
+/// both patterns, both loads.
+#[test]
+fn engines_equivalent_fault_free() {
+    check_matrix(Scenario::FaultFree);
+}
+
+/// Same matrix under a link kill/revive plus a whole-router kill/revive.
+#[test]
+fn engines_equivalent_under_faults() {
+    check_matrix(Scenario::Faults);
+}
+
+/// Same matrix with source retransmission enabled and a transient router
+/// kill forcing actual timeouts and re-sends.
+#[test]
+fn engines_equivalent_with_retransmission() {
+    check_matrix(Scenario::Retransmit);
+}

@@ -1,0 +1,173 @@
+//! Property tests for the event queue's ordering laws — the contract the
+//! event-driven engine's determinism rests on:
+//!
+//! 1. Pops never go backwards in time.
+//! 2. Same-cycle ties break by endpoint id, then event kind.
+//! 3. `cancel` drops every pending wake of an endpoint, is idempotent,
+//!    and a later `schedule` re-arms it (and only it).
+//! 4. Skipping idle cycles is safe: jumping straight to `next_time()`
+//!    never hops over a scheduled wake, and `pop_due` at that cycle
+//!    yields exactly the endpoints the model says are due.
+//!
+//! Each law is checked against a trivial model (a `Vec` of live entries)
+//! under arbitrary interleavings of schedule and cancel operations.
+
+use hxsim::{EventKind, EventQueue};
+use proptest::prelude::*;
+
+const ENDPOINTS: u32 = 8;
+
+fn kind_of(k: u8) -> EventKind {
+    match k % 5 {
+        0 => EventKind::FlitArrival,
+        1 => EventKind::CreditArrival,
+        2 => EventKind::Wake,
+        3 => EventKind::Timeout,
+        _ => EventKind::Fault,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule { t: u64, endpoint: u32, kind: u8 },
+    Cancel { endpoint: u32 },
+}
+
+/// Schedules outnumber cancels 4:1 so drained sequences stay non-trivial.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..5, 0u64..64, 0u32..ENDPOINTS, 0u8..5).prop_map(|(sel, t, endpoint, kind)| {
+        if sel < 4 {
+            Op::Schedule { t, endpoint, kind }
+        } else {
+            Op::Cancel { endpoint }
+        }
+    })
+}
+
+/// Applies `ops` to both the queue and the model. The model is the naive
+/// spec: a list of live `(time, endpoint, kind)` entries where a cancel
+/// removes everything the endpoint had pending at that moment.
+fn apply(ops: &[Op]) -> (EventQueue, Vec<(u64, u32, u8)>) {
+    let mut q = EventQueue::new(ENDPOINTS as usize);
+    let mut model: Vec<(u64, u32, u8)> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Schedule { t, endpoint, kind } => {
+                q.schedule(t, endpoint, kind_of(kind));
+                model.push((t, endpoint, kind % 5));
+            }
+            Op::Cancel { endpoint } => {
+                q.cancel(endpoint);
+                model.retain(|&(_, e, _)| e != endpoint);
+            }
+        }
+    }
+    (q, model)
+}
+
+proptest! {
+    /// Laws 1-3 at once: draining with `pop_entry` yields exactly the
+    /// model's surviving entries, sorted by (time, endpoint, kind) —
+    /// time never regresses, ties break by endpoint then kind, and
+    /// canceled entries (and only those) are gone.
+    #[test]
+    fn drain_matches_sorted_model(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let (mut q, mut model) = apply(&ops);
+        model.sort_unstable();
+
+        let mut drained = Vec::new();
+        let mut last: Option<(u64, u32, u8)> = None;
+        while let Some((t, e, k)) = q.pop_entry() {
+            let entry = (t, e, k as u8);
+            if let Some(prev) = last {
+                prop_assert!(prev <= entry, "pop order regressed: {prev:?} then {entry:?}");
+            }
+            last = Some(entry);
+            drained.push(entry);
+        }
+        prop_assert_eq!(drained, model);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Law 3 sharpened: canceling twice is the same as canceling once,
+    /// and a re-schedule after cancel revives only the new entry while
+    /// every other endpoint's pending wakes are untouched.
+    #[test]
+    fn cancel_is_idempotent_and_reschedule_rearms(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+        victim in 0..ENDPOINTS,
+        extra_cancels in 1usize..4,
+        t_new in 0u64..64,
+    ) {
+        let (mut q, mut model) = apply(&ops);
+        for _ in 0..extra_cancels {
+            q.cancel(victim);
+        }
+        model.retain(|&(_, e, _)| e != victim);
+        q.schedule(t_new, victim, EventKind::Wake);
+        model.push((t_new, victim, EventKind::Wake as u8));
+        model.sort_unstable();
+
+        let mut drained = Vec::new();
+        while let Some((t, e, k)) = q.pop_entry() {
+            drained.push((t, e, k as u8));
+        }
+        prop_assert_eq!(drained, model);
+    }
+
+    /// Law 4: `next_time` is exactly the model's minimum pending time —
+    /// skipping the simulation clock straight to it can never hop over a
+    /// wake — and `pop_due` at that cycle returns precisely the sorted,
+    /// deduplicated set of endpoints the model says are due by then.
+    #[test]
+    fn skip_to_next_time_never_misses_a_wake(
+        ops in prop::collection::vec(op_strategy(), 0..80),
+    ) {
+        let (mut q, model) = apply(&ops);
+        let model_min = model.iter().map(|&(t, ..)| t).min();
+        prop_assert_eq!(q.next_time(), model_min);
+
+        if let Some(target) = model_min {
+            let mut due = Vec::new();
+            q.pop_due(target, &mut due);
+            let mut want: Vec<u32> = model
+                .iter()
+                .filter(|&&(t, ..)| t <= target)
+                .map(|&(_, e, _)| e)
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(due, want);
+
+            // Everything strictly later survives the pop.
+            let later = model.iter().map(|&(t, ..)| t).filter(|&t| t > target).min();
+            prop_assert_eq!(q.next_time(), later);
+        }
+    }
+
+    /// `pop_due` over an arbitrary sequence of advancing deadlines drains
+    /// the same entries the model does, cycle window by cycle window.
+    #[test]
+    fn windowed_pop_due_tracks_model(
+        ops in prop::collection::vec(op_strategy(), 0..80),
+        steps in prop::collection::vec(0u64..16, 1..8),
+    ) {
+        let (mut q, model) = apply(&ops);
+        let mut now = 0u64;
+        let mut prev = None;
+        let mut due = Vec::new();
+        for dt in steps {
+            now += dt;
+            q.pop_due(now, &mut due);
+            let mut want: Vec<u32> = model
+                .iter()
+                .filter(|&&(t, ..)| t <= now && prev.is_none_or(|p| t > p))
+                .map(|&(_, e, _)| e)
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(due.clone(), want, "window ({prev:?}, {now}]");
+            prev = Some(now);
+        }
+    }
+}

@@ -13,16 +13,21 @@
 //! cargo run --release -p hxbench --bin parallel_tick -- \
 //!     [--threads-list 1,2,4] [--engines-list cycle,event] \
 //!     [--loads-list 0.1,0.3,0.7] [--warmup 2000] [--cycles 6000] \
-//!     [--algo OmniWAR] [--seed 1] [--full] [--json BENCH_event_core.json]
+//!     [--algo OmniWAR] [--seed 1] [--full] [--allow-oversubscribe] \
+//!     [--json BENCH_event_core.json]
 //! ```
 //!
 //! The uniform `--threads N` / `--load X` switches are shorthand for
-//! single-entry lists. Per run the JSON records wall seconds, cycles/sec,
-//! endpoint-tick events/sec (0 for the cycle engine, which has no queue),
-//! speedup vs the serial run of the same engine and load, and speedup vs
-//! the serial *cycle* engine at the same load — the low-load curve the
-//! event core is sized against. `host_cpus` qualifies the thread scaling:
-//! it is only meaningful with at least as many cores as threads.
+//! single-entry lists. Thread counts above the host CPU count are clamped
+//! (oversubscription never changes results, only slows them down) unless
+//! `--allow-oversubscribe` is given; every row records both the requested
+//! and the effective count. Per run the JSON records wall seconds,
+//! cycles/sec, endpoint-tick events/sec (`null` for the cycle engine,
+//! which has no event queue), speedup vs the serial run of the same
+//! engine and load, and speedup vs the serial *cycle* engine at the same
+//! load — the low-load curve the event core is sized against. `host_cpus`
+//! qualifies the thread scaling: it is only meaningful with at least as
+//! many cores as threads.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,12 +43,17 @@ use serde::Serialize;
 struct RunResult {
     engine: String,
     load: f64,
+    /// Requested tick-thread count (`--threads-list` entry).
     threads: usize,
+    /// Thread count the run actually used, after the host-CPU clamp.
+    threads_effective: usize,
     seconds: f64,
     cycles_per_sec: f64,
-    /// Endpoint-tick events the event queue dispatched per second
-    /// (0 for the cycle engine: it ticks everything every cycle).
-    events_per_sec: f64,
+    /// Endpoint-tick events the event queue dispatched per second.
+    /// `null` for the cycle engine: it ticks everything every cycle, so
+    /// there is no event rate to report (a `0.0` here would read as a
+    /// measured-but-idle queue).
+    events_per_sec: Option<f64>,
     /// Speedup vs this engine's own serial run at the same load.
     speedup_vs_serial: f64,
     /// Speedup vs the serial cycle-stepped run at the same load.
@@ -93,6 +103,7 @@ fn main() {
     let args = Args::parse();
     let common = CommonArgs::parse(&args);
     let (full, seed) = (common.full, common.seed);
+    let allow_oversub = args.flag("allow-oversubscribe");
     let warmup: u64 = args.get_or("warmup", 2_000);
     let cycles: u64 = args.get_or("cycles", 6_000);
     let algo_name = args.get("algo").unwrap_or("OmniWAR").to_string();
@@ -142,8 +153,9 @@ fn main() {
         for &engine in &engines {
             let mut serial_secs = None;
             for &threads in &threads_list {
+                let (threads_effective, _) = hxbench::clamp_threads(threads, allow_oversub);
                 let mut cfg = evaluation_config();
-                cfg.tick_threads = threads;
+                cfg.tick_threads = threads_effective;
                 cfg.engine = engine;
                 let algo: Arc<dyn hxcore::RoutingAlgorithm> =
                     hyperx_algorithm(&algo_name, hx.clone(), cfg.num_vcs)
@@ -178,15 +190,17 @@ fn main() {
                 let speedup = serial_secs.map_or(f64::NAN, |s| s / secs);
                 let vs_cycle = cycle_serial_secs.map_or(f64::NAN, |s| s / secs);
                 let cps = (warmup + cycles) as f64 / secs;
-                let eps = sim.events_processed() as f64 / secs;
+                let eps = (engine == Engine::Event).then(|| sim.events_processed() as f64 / secs);
+                let eps_str = eps.map_or("-".to_string(), |e| format!("{e:.0}"));
                 eprintln!(
-                    "  {engine:?} load {load} {threads} threads: {secs:.3}s  \
-                     {cps:.0} c/s  {eps:.0} ev/s  speedup {speedup:.2}x  vs-cycle {vs_cycle:.2}x"
+                    "  {engine:?} load {load} {threads_effective} threads: {secs:.3}s  \
+                     {cps:.0} c/s  {eps_str} ev/s  speedup {speedup:.2}x  vs-cycle {vs_cycle:.2}x"
                 );
                 results.push(RunResult {
                     engine: format!("{engine:?}").to_ascii_lowercase(),
                     load,
                     threads,
+                    threads_effective,
                     seconds: secs,
                     cycles_per_sec: cps,
                     events_per_sec: eps,

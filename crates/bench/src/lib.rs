@@ -5,6 +5,7 @@
 //! | binary | artifact |
 //! |---|---|
 //! | `fig2_scalability`  | Figure 2 — max nodes vs router radix |
+//! | `fig2_sim`          | Figure 2 (simulated) — scale ladder to 100k+ terminals |
 //! | `fig3_cabling`      | Figure 3 — Dragonfly:HyperX cabling cost |
 //! | `fig4_topologies`   | Figure 4 — stencil time across topologies |
 //! | `fig6_synthetic`    | Figure 6 — load/latency + throughput summary |
@@ -49,6 +50,37 @@ pub fn evaluation_hyperx(full: bool) -> Arc<HyperX> {
 /// The paper's Section 6 simulator configuration.
 pub fn evaluation_config() -> SimConfig {
     SimConfig::default()
+}
+
+/// Clamps a requested tick-thread count to the host's available CPUs,
+/// returning `(effective_threads, host_cpus)`. Oversubscribing the tick
+/// pool never changes results (the parallel tick is bit-deterministic)
+/// but reliably runs *slower* — BENCH_event_core.json measured 28–33%
+/// throughput loss running 4 threads on 1 CPU — so the bench binaries
+/// clamp by default and record the effective count in every row. Pass
+/// `allow = true` (`--allow-oversubscribe`) to keep the requested count,
+/// e.g. to exercise the shard machinery itself; the warning still prints.
+pub fn clamp_threads(requested: usize, allow: bool) -> (usize, usize) {
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let requested = requested.max(1);
+    if requested <= host {
+        return (requested, host);
+    }
+    if allow {
+        eprintln!(
+            "WARNING: running {requested} tick threads on {host} CPU(s) \
+             (--allow-oversubscribe): results are identical but slower"
+        );
+        (requested, host)
+    } else {
+        eprintln!(
+            "NOTE: clamping tick threads {requested} -> {host} (host CPUs); \
+             pass --allow-oversubscribe to override"
+        );
+        (host, host)
+    }
 }
 
 /// Order-preserving parallel map over `items`, using all cores (crossbeam

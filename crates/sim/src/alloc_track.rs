@@ -1,0 +1,102 @@
+//! Counting global allocator for allocation-regression tests and the
+//! `fig2_sim` memory high-water measurements.
+//!
+//! Wraps the system allocator with relaxed atomic counters: total
+//! allocation calls, live bytes, and a peak (high-water) byte mark. Install
+//! it per binary/test with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: hxsim::CountingAllocator = hxsim::CountingAllocator::new();
+//! ```
+//!
+//! The counters deliberately ignore `realloc` shrinks-in-place vs
+//! copy distinctions: a realloc counts as one allocation call and adjusts
+//! live bytes by the size delta, which is what both consumers (steady-state
+//! "zero new allocations" assertions and high-water tracking) need.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `GlobalAlloc` wrapper around [`System`] that counts calls and bytes.
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// Const constructor, usable in `static` position.
+    pub const fn new() -> Self {
+        Self {
+            allocations: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocation calls (alloc + realloc) since process start.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bytes since the last [`Self::reset_peak`].
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live-byte count, so each
+    /// measurement phase reports its own peak.
+    pub fn reset_peak(&self) {
+        self.peak_bytes
+            .store(self.live_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn note_grow(&self, bytes: u64) {
+        let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(live, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers all allocation to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+            self.note_grow(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.live_bytes
+            .fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+            if new_size >= layout.size() {
+                self.note_grow((new_size - layout.size()) as u64);
+            } else {
+                self.live_bytes
+                    .fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}

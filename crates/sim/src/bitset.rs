@@ -1,0 +1,103 @@
+//! Packed bitset backing the packet pool's per-slot flags.
+//!
+//! `Vec<bool>` spends a byte per flag; at 100k+ live packets the alive and
+//! poisoned flags together cost two cache lines of useful data per 64 slots.
+//! Packing them into `u64` words keeps the whole flag array for a million
+//! slots in ~128 KiB and makes the clear-on-recycle path branch-free.
+
+/// A growable packed bitset indexed like a `Vec<bool>`.
+#[derive(Default, Clone, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits tracked (mirrors the parallel slot vector's length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set tracks zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit (slot grown at the tail).
+    #[inline]
+    pub fn push(&mut self, value: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if value {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut bs = BitSet::new();
+        assert!(bs.is_empty());
+        for i in 0..200 {
+            bs.push(i % 3 == 0);
+        }
+        assert_eq!(bs.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bs.get(i), i % 3 == 0, "bit {i}");
+        }
+        bs.set(1, true);
+        bs.set(0, false);
+        assert!(bs.get(1));
+        assert!(!bs.get(0));
+        // Neighbours across a word boundary are untouched.
+        bs.set(64, true);
+        assert!(bs.get(64));
+        assert!(!bs.get(63));
+        assert!(!bs.get(65));
+    }
+
+    #[test]
+    fn word_boundary_growth() {
+        let mut bs = BitSet::new();
+        for _ in 0..64 {
+            bs.push(false);
+        }
+        bs.push(true); // first bit of the second word
+        assert_eq!(bs.len(), 65);
+        assert!(bs.get(64));
+        assert!(!bs.get(0));
+    }
+}

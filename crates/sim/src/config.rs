@@ -87,6 +87,10 @@ pub struct SimConfig {
     /// sharded across a persistent worker pool). Results are bit-identical
     /// for every value; 1 (the default) runs fully serial. The default can
     /// be overridden with the `HX_TICK_THREADS` environment variable.
+    /// Values above the host CPU count are honored (tests use this to
+    /// exercise the shard machinery on small hosts) but warn loudly:
+    /// oversubscription only ever slows the run down. The bench binaries
+    /// clamp instead (`hxbench::clamp_threads`).
     pub tick_threads: usize,
     /// Inner-loop engine. Defaults to [`Engine::Event`]; the `HX_ENGINE`
     /// environment variable (`cycle` or `event`) overrides the default.

@@ -21,6 +21,8 @@
 //! assert_eq!(sim.stats.total_delivered_packets, 1);
 //! ```
 
+pub mod alloc_track;
+mod bitset;
 mod channel;
 mod config;
 pub mod event;
@@ -40,6 +42,8 @@ mod trace;
 pub mod transport;
 mod workload;
 
+pub use alloc_track::CountingAllocator;
+pub use bitset::BitSet;
 pub use channel::Channel;
 pub use config::{CanonicalSimConfig, Engine, SimConfig};
 pub use event::{EventKind, EventQueue};
@@ -48,7 +52,7 @@ pub use metrics::{
     LogHist, Metrics, MetricsConfig, MetricsSummary, NetSample, PhaseTimers, PortSample,
 };
 pub use network::Network;
-pub use packet::{Flit, Packet, PacketId, PacketPool};
+pub use packet::{Flit, Packet, PacketCold, PacketHot, PacketId, PacketPool};
 pub use router::Router;
 pub use runner::{run_steady_state, LoadPoint, SteadyOpts};
 pub use schema::{fnv1a, versioned_json_row, SCHEMA_VERSION};

@@ -490,7 +490,7 @@ impl Metrics {
             let router = net.router(r);
             for p in 0..net.topo.num_ports(r) {
                 let i = self.flat(r, p);
-                let flits = match router.out_chan[p] {
+                let flits = match router.out_ch(p) {
                     Some(ch) => {
                         let total = net.channel(ch).flits_sent();
                         let delta = total - self.last_chan_flits[i];

@@ -14,7 +14,7 @@ use crate::exec::{MetricEvent, PoolOp, TickPool, TickSink};
 use crate::fault::FaultAction;
 use crate::metrics::Metrics;
 use crate::packet::PacketPool;
-use crate::router::{apply_commit, poison_packet, Router};
+use crate::router::{apply_commit, poison_packet, ArrivalHint, Router};
 use crate::stats::Stats;
 use crate::terminal::Terminal;
 use crate::trace::{DropReason, Trace};
@@ -49,6 +49,11 @@ struct EventState {
     /// Endpoint that consumes credits returning on each channel (the
     /// channel's flit-sender side).
     credit_consumer: Vec<u32>,
+    /// Input port of the flit consumer (`u16::MAX` for terminals, which
+    /// scan their two channels directly and need no hint).
+    flit_consumer_port: Vec<u16>,
+    /// Port of the credit consumer (`u16::MAX` for terminals).
+    credit_consumer_port: Vec<u16>,
     /// Per-channel one-way latency, cached for arrival-wake scheduling.
     chan_latency: Vec<u64>,
     /// Per-cycle wheel of channels with a send maturing that cycle, so
@@ -57,6 +62,9 @@ struct EventState {
     chan_wheel: ChanWheel,
     /// This cycle's due-endpoint scratch, reused every cycle.
     tick_set: Vec<u32>,
+    /// This cycle's arrival-hint scratch (sorted `(router, port·2|kind)`
+    /// pairs from the wheel's matured set), reused every cycle.
+    hint_buf: Vec<ArrivalHint>,
     /// Lifetime endpoint wakes executed.
     events_processed: u64,
 }
@@ -123,6 +131,28 @@ impl ChanWheel {
         }
         self.next_drain = now + 1;
     }
+
+    /// Visits every recorded maturity in `[next_drain, now]` without
+    /// draining it — the arrival-hint pass reads the matured set before
+    /// compute; `drain_discard` clears the same window after. Entries may
+    /// repeat (one per send on the channel that cycle); the hint builder
+    /// deduplicates.
+    fn for_each_pending(&self, now: u64, mut f: impl FnMut(u32)) {
+        if self.next_drain > now {
+            return;
+        }
+        let len = self.slots.len() as u64;
+        let first = if now + 1 - self.next_drain >= len {
+            now + 1 - len
+        } else {
+            self.next_drain
+        };
+        for c in first..=now {
+            for &packed in &self.slots[(c % len) as usize] {
+                f(packed);
+            }
+        }
+    }
 }
 
 impl Network {
@@ -135,6 +165,24 @@ impl Network {
         seed: u64,
     ) -> Self {
         cfg.validate();
+        // Oversubscribing the tick pool is a measured 28–33% slowdown on a
+        // 1-CPU host (BENCH_event_core.json) and never helps: warn loudly,
+        // once. Results are bit-identical at any thread count, so this is
+        // purely a performance footgun — benches clamp via
+        // `hxbench::clamp_threads`; tests that exercise the parallel
+        // machinery on small hosts oversubscribe deliberately.
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cfg.tick_threads > host {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "WARNING: tick_threads={} exceeds the {host} available CPU(s); \
+                     this oversubscribes the tick pool and typically runs SLOWER \
+                     than tick_threads={host} (results are identical either way)",
+                    cfg.tick_threads
+                );
+            });
+        }
         assert!(
             algo.num_classes() <= cfg.num_vcs,
             "{} needs {} resource classes but only {} VCs configured",
@@ -162,18 +210,18 @@ impl Network {
                         // One directed channel per (source router, port).
                         let id = channels.len();
                         channels.push(Channel::new(latency));
-                        routers[r].out_chan[p] = Some(id);
+                        routers[r].out_chan[p] = id as u32;
                         routers[r].live_ports[p] = true;
-                        routers[router].in_chan[port] = Some(id);
+                        routers[router].in_chan[port] = id as u32;
                     }
                     PortTarget::Terminal(t) => {
                         let eject = channels.len();
                         channels.push(Channel::new(latency));
                         let inject = channels.len();
                         channels.push(Channel::new(latency));
-                        routers[r].out_chan[p] = Some(eject);
-                        routers[r].in_chan[p] = Some(inject);
-                        routers[r].port_term[p] = Some(t as u32);
+                        routers[r].out_chan[p] = eject as u32;
+                        routers[r].in_chan[p] = inject as u32;
+                        routers[r].port_term[p] = t as u32;
                         routers[r].live_ports[p] = true;
                         term_wiring[t] = Some((inject, eject));
                     }
@@ -198,13 +246,17 @@ impl Network {
             let nc = channels.len();
             let mut flit_consumer = vec![u32::MAX; nc];
             let mut credit_consumer = vec![u32::MAX; nc];
+            let mut flit_consumer_port = vec![u16::MAX; nc];
+            let mut credit_consumer_port = vec![u16::MAX; nc];
             for r in &routers {
                 for p in 0..r.in_chan.len() {
-                    if let Some(ch) = r.in_chan[p] {
+                    if let Some(ch) = r.in_ch(p) {
                         flit_consumer[ch] = r.id() as u32;
+                        flit_consumer_port[ch] = p as u16;
                     }
-                    if let Some(ch) = r.out_chan[p] {
+                    if let Some(ch) = r.out_ch(p) {
                         credit_consumer[ch] = r.id() as u32;
+                        credit_consumer_port[ch] = p as u16;
                     }
                 }
             }
@@ -218,9 +270,12 @@ impl Network {
                 queue: EventQueue::new(nr + nt),
                 flit_consumer,
                 credit_consumer,
+                flit_consumer_port,
+                credit_consumer_port,
                 chan_latency: channels.iter().map(|c| c.latency()).collect(),
                 chan_wheel: ChanWheel::new(channels.iter().map(|c| c.latency()).max().unwrap_or(0)),
                 tick_set: Vec::new(),
+                hint_buf: Vec::new(),
                 events_processed: 0,
             })
         });
@@ -241,6 +296,12 @@ impl Network {
     /// Whether the event-driven engine drives this network.
     pub fn engine_is_event(&self) -> bool {
         self.event.is_some()
+    }
+
+    /// The thread count the tick actually runs with (`cfg.tick_threads`
+    /// floored to 1). Benches record this in every JSONL row.
+    pub fn effective_tick_threads(&self) -> usize {
+        self.cfg.tick_threads.max(1)
     }
 
     /// Endpoint wakes executed by the event engine so far (0 under the
@@ -336,7 +397,7 @@ impl Network {
             if threads == 1 {
                 for (shard, sink) in self.routers.chunks_mut(r_chunk).zip(r_sinks) {
                     for r in shard {
-                        r.tick(now, topo, algo, pool_view, channels, sink);
+                        r.tick(now, topo, algo, pool_view, channels, None, sink);
                     }
                 }
                 for (shard, sink) in self.terminals.chunks_mut(t_chunk).zip(t_sinks) {
@@ -368,7 +429,7 @@ impl Network {
                     match task.expect("shard claimed twice") {
                         Shard::Routers(shard, sink) => {
                             for r in shard {
-                                r.tick(now, topo, algo, pool_view, channels, sink);
+                                r.tick(now, topo, algo, pool_view, channels, None, sink);
                             }
                         }
                         Shard::Terminals(shard, sink) => {
@@ -447,33 +508,48 @@ impl Network {
         let split = tick_set.partition_point(|&e| (e as usize) < nr);
         let (r_ids, t_ids) = tick_set.split_at(split);
 
-        // Gather mutable references to exactly the due endpoints, in id
-        // order (one linear walk; the tick set is sorted).
-        let mut r_refs: Vec<&mut Router> = Vec::with_capacity(r_ids.len());
+        // ---- Arrival hints: the wheel's undrained window is exactly the
+        // set of channels with a flit/credit maturing by `now` (every wire
+        // send records its maturity; `drain_discard` clears the window
+        // after compute). Map each to its consuming router's input port so
+        // the busy tick touches only ports with actual arrivals instead of
+        // scanning all of them. Terminal consumers are skipped — terminals
+        // scan their two channels directly. Sorted + deduplicated, the
+        // per-router slice reproduces the full scan's port visit order.
+        let mut hints = std::mem::take(&mut ev.hint_buf);
+        hints.clear();
         {
-            let mut want = r_ids.iter().map(|&e| e as usize).peekable();
-            for (i, r) in self.routers.iter_mut().enumerate() {
-                if want.peek() == Some(&i) {
-                    want.next();
-                    r_refs.push(r);
+            let nr32 = nr as u32;
+            let fc = &ev.flit_consumer;
+            let cc = &ev.credit_consumer;
+            let fp = &ev.flit_consumer_port;
+            let cp = &ev.credit_consumer_port;
+            ev.chan_wheel.for_each_pending(now, |packed| {
+                let ch = (packed >> 1) as usize;
+                let (consumer, key) = if packed & 1 == 1 {
+                    (fc[ch], fp[ch] << 1)
+                } else {
+                    (cc[ch], (cp[ch] << 1) | 1)
+                };
+                if consumer < nr32 {
+                    hints.push((consumer, key));
                 }
-            }
+            });
         }
-        let mut t_refs: Vec<&mut Terminal> = Vec::with_capacity(t_ids.len());
-        {
-            let mut want = t_ids.iter().map(|&e| e as usize - nr).peekable();
-            for (i, t) in self.terminals.iter_mut().enumerate() {
-                if want.peek() == Some(&i) {
-                    want.next();
-                    t_refs.push(t);
-                }
-            }
-        }
+        hints.sort_unstable();
+        hints.dedup();
 
-        let r_chunk = r_refs.len().div_ceil(threads).max(1);
-        let t_chunk = t_refs.len().div_ceil(threads).max(1);
-        let n_rshards = r_refs.len().div_ceil(r_chunk);
-        let n_shards = n_rshards + t_refs.len().div_ceil(t_chunk);
+        let n_rshards = if r_ids.is_empty() {
+            0
+        } else {
+            threads.min(r_ids.len())
+        };
+        let n_tshards = if t_ids.is_empty() {
+            0
+        } else {
+            threads.min(t_ids.len())
+        };
+        let n_shards = n_rshards + n_tshards;
         if self.sinks.len() < n_shards {
             self.sinks.resize_with(n_shards, TickSink::default);
         }
@@ -488,21 +564,69 @@ impl Network {
             let algo = &*self.algo;
             let channels = &self.channels[..];
             let pool_view = &*pool;
+            let hints = &hints[..];
             let (r_sinks, t_sinks) = self.sinks[..n_shards].split_at_mut(n_rshards);
             if threads == 1 {
-                for (shard, sink) in r_refs.chunks_mut(r_chunk).zip(r_sinks) {
-                    for r in shard {
-                        r.tick(now, topo, algo, pool_view, channels, sink);
+                // Serial fast path: index the due endpoints directly — no
+                // per-tick reference gathering, so the steady-state tick
+                // stays allocation-free. A cursor walks the sorted hint
+                // list in lockstep with the sorted id list.
+                if let [sink] = r_sinks {
+                    let mut hc = 0usize;
+                    for &e in r_ids {
+                        while hc < hints.len() && hints[hc].0 < e {
+                            hc += 1;
+                        }
+                        let s = hc;
+                        while hc < hints.len() && hints[hc].0 == e {
+                            hc += 1;
+                        }
+                        self.routers[e as usize].tick(
+                            now,
+                            topo,
+                            algo,
+                            pool_view,
+                            channels,
+                            Some(&hints[s..hc]),
+                            sink,
+                        );
                     }
                 }
-                for (shard, sink) in t_refs.chunks_mut(t_chunk).zip(t_sinks) {
+                if let [sink] = t_sinks {
                     let mut stamp = timed.then(std::time::Instant::now);
-                    for t in shard {
-                        t.tick(now, pool_view, channels, sink);
+                    for &e in t_ids {
+                        self.terminals[e as usize - nr].tick(now, pool_view, channels, sink);
                     }
                     crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
                 }
             } else {
+                // Parallel path: gather mutable references to exactly the
+                // due endpoints (one linear walk; the tick set is sorted)
+                // so disjoint chunks can fan out across the pool. This
+                // allocates the two reference vectors each tick — the
+                // allocation-free guarantee is serial-only.
+                let mut r_refs: Vec<&mut Router> = Vec::with_capacity(r_ids.len());
+                {
+                    let mut want = r_ids.iter().map(|&e| e as usize).peekable();
+                    for (i, r) in self.routers.iter_mut().enumerate() {
+                        if want.peek() == Some(&i) {
+                            want.next();
+                            r_refs.push(r);
+                        }
+                    }
+                }
+                let mut t_refs: Vec<&mut Terminal> = Vec::with_capacity(t_ids.len());
+                {
+                    let mut want = t_ids.iter().map(|&e| e as usize - nr).peekable();
+                    for (i, t) in self.terminals.iter_mut().enumerate() {
+                        if want.peek() == Some(&i) {
+                            want.next();
+                            t_refs.push(t);
+                        }
+                    }
+                }
+                let r_chunk = r_refs.len().div_ceil(n_rshards.max(1)).max(1);
+                let t_chunk = t_refs.len().div_ceil(n_tshards.max(1)).max(1);
                 enum Shard<'a, 'b> {
                     Routers(&'a mut [&'b mut Router], &'a mut TickSink),
                     Terminals(&'a mut [&'b mut Terminal], &'a mut TickSink),
@@ -523,7 +647,18 @@ impl Network {
                     match task.expect("shard claimed twice") {
                         Shard::Routers(shard, sink) => {
                             for r in shard {
-                                r.tick(now, topo, algo, pool_view, channels, sink);
+                                let id = r.id() as u32;
+                                let s = hints.partition_point(|h| h.0 < id);
+                                let e = s + hints[s..].partition_point(|h| h.0 == id);
+                                r.tick(
+                                    now,
+                                    topo,
+                                    algo,
+                                    pool_view,
+                                    channels,
+                                    Some(&hints[s..e]),
+                                    sink,
+                                );
                             }
                         }
                         Shard::Terminals(shard, sink) => {
@@ -539,8 +674,7 @@ impl Network {
                 exec.run(tasks.len(), &run_shard);
             }
         }
-        drop(r_refs);
-        drop(t_refs);
+        ev.hint_buf = hints;
 
         // ---- Commit phase: serial, in endpoint-id order. ----
         // Discard exactly the arrivals that matured by `now`: their
@@ -634,7 +768,7 @@ impl Network {
         let (r2, p2) = self.peer_of(router, port);
         for &(r, p) in &[(router, port), (r2, p2)] {
             self.routers[r].live_ports[p] = false;
-            let ch = self.routers[r].out_chan[p].expect("killing an unwired port");
+            let ch = self.routers[r].out_ch(p).expect("killing an unwired port");
             for (flit, _) in self.channels[ch].kill() {
                 poison_packet(
                     pool,
@@ -670,7 +804,7 @@ impl Network {
         let (r2, p2) = self.peer_of(router, port);
         for &(r, p, pr, pp) in &[(router, port, r2, p2), (r2, p2, router, port)] {
             self.routers[r].purge_egress(p, pool, stats);
-            let ch = self.routers[r].out_chan[p].expect("reviving an unwired port");
+            let ch = self.routers[r].out_ch(p).expect("reviving an unwired port");
             for (flit, _) in self.channels[ch].take_dead_drops() {
                 poison_packet(
                     pool,
@@ -830,7 +964,7 @@ impl Network {
         let max_pkt = self.cfg.max_packet_flits;
         for r in &self.routers {
             for port in 0..self.topo.num_ports(r.id()) {
-                let Some(ch) = r.out_chan[port] else { continue };
+                let Some(ch) = r.out_ch(port) else { continue };
                 if !r.port_live(port) || !self.channels[ch].is_alive() {
                     continue; // dead links settle their books at revival
                 }
@@ -915,13 +1049,13 @@ fn commit_sink(
                 commit,
                 count_hop,
             } => {
-                let p = pool.get_mut(pkt);
-                apply_commit(&mut p.route, commit);
+                let h = pool.hot_mut(pkt);
+                apply_commit(&mut h.route, commit);
                 if count_hop {
-                    p.hops = p.hops.saturating_add(1);
+                    h.hops = h.hops.saturating_add(1);
                 }
             }
-            PoolOp::Inject { pkt, cycle } => pool.get_mut(pkt).inject = cycle,
+            PoolOp::Inject { pkt, cycle } => pool.cold_mut(pkt).inject = cycle,
             PoolOp::HopPoison(pkt) => poison_packet(
                 pool,
                 stats,

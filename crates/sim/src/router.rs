@@ -20,6 +20,16 @@
 //!    into the crossbar delay pipe, returning credits upstream.
 //! 4. *Crossbar egress* — matured flits drop into per-port output queues.
 //! 5. *Link egress* — each output port sends one flit per cycle.
+//!
+//! Scale notes (100k+ terminals): the constructor allocates only the
+//! wiring arrays (u32 channel/terminal ids, `u32::MAX` = unwired); the
+//! per-port datapath state (input VC queues, credit/owner/backlog arrays,
+//! output queues) is materialized lazily on first use, so routers that
+//! never see traffic cost a few hundred bytes. Materialization is pure
+//! allocation — no RNG draw, no simulation-visible effect — so laziness
+//! cannot perturb results. Per-packet input buffers recycle their flit
+//! deques through an arena ([`Self::recycle_buf`]), keeping the
+//! steady-state tick allocation-free.
 
 use std::collections::VecDeque;
 
@@ -39,9 +49,20 @@ use crate::packet::{Flit, PacketId, PacketPool};
 use crate::stats::Stats;
 use crate::trace::{DropReason, DropRecord, HopRecord, Trace};
 
+/// Sentinel for "no channel / no terminal" in the u32 wiring arrays.
+pub(crate) const NO_WIRE: u32 = u32::MAX;
+/// Sentinel for an unclaimed output VC in the packed owner array.
+const NO_OWNER: PacketId = PacketId::MAX;
+
 /// Arbitration sort key for routing candidates: `(weight, hops, random
 /// salt)`, compared lexicographically — lower wins.
 type CandKey = (u64, u8, u32);
+
+/// An ingress arrival hint: `(router_id, port << 1 | is_credit)`. Sorted
+/// ascending this reproduces the full scan's visit order (ports ascending,
+/// flits before credits per port). Built by the event engine from the
+/// `ChanWheel`'s matured-channel set.
+pub(crate) type ArrivalHint = (u32, u16);
 
 /// Congestion view over a router's output side (credits, claims, backlog,
 /// link liveness).
@@ -49,7 +70,7 @@ struct OutView<'a> {
     num_vcs: usize,
     cap: usize,
     credits: &'a [u32],
-    owner: &'a [Option<PacketId>],
+    owner: &'a [PacketId],
     backlog: &'a [u32],
     live: &'a [bool],
 }
@@ -65,7 +86,7 @@ impl RouterView for OutView<'_> {
         self.cap
     }
     fn vc_claimed(&self, port: usize, vc: usize) -> bool {
-        self.owner[port * self.num_vcs + vc].is_some()
+        self.owner[port * self.num_vcs + vc] != NO_OWNER
     }
     fn queue_len(&self, port: usize) -> usize {
         self.backlog[port] as usize
@@ -84,7 +105,7 @@ pub(crate) fn poison_packet(
     now: u64,
     reason: DropReason,
 ) {
-    let tag = pool.get(id).tag;
+    let tag = pool.cold(id).tag;
     if pool.poison(id) {
         stats.dropped_packets += 1;
         if let Some(t) = trace {
@@ -129,12 +150,19 @@ pub struct Router {
     xbar_speedup: usize,
     class_map: ClassMap,
 
+    /// Whether the per-port datapath arrays below have been allocated.
+    /// False until the router first does real work; all accessors report
+    /// the empty/full-credit defaults until then.
+    materialized: bool,
+
     // Input side, indexed [port * num_vcs + vc]: per-VC packet queues.
+    // Empty until materialized.
     in_q: Vec<VecDeque<PktBuf>>,
 
-    // Output side.
+    // Output side. Empty until materialized.
     out_credits: Vec<u32>,
-    out_owner: Vec<Option<PacketId>>,
+    /// Downstream VC claims, [`NO_OWNER`] = unclaimed.
+    out_owner: Vec<PacketId>,
     /// Flits per output port inside the crossbar pipe + output queue.
     out_backlog: Vec<u32>,
     out_q: Vec<VecDeque<(Flit, u8)>>,
@@ -142,12 +170,12 @@ pub struct Router {
     /// Crossbar delay pipe: (ready_cycle, flit, out_port, out_vc).
     xbar: VecDeque<(u64, Flit, u16, u8)>,
 
-    /// Outgoing channel per port (None = unused port).
-    pub(crate) out_chan: Vec<Option<usize>>,
-    /// Incoming channel per port.
-    pub(crate) in_chan: Vec<Option<usize>>,
-    /// Terminal id if the port is a terminal port.
-    pub(crate) port_term: Vec<Option<u32>>,
+    /// Outgoing channel id per port ([`NO_WIRE`] = unused port).
+    pub(crate) out_chan: Vec<u32>,
+    /// Incoming channel id per port ([`NO_WIRE`] = unused port).
+    pub(crate) in_chan: Vec<u32>,
+    /// Terminal id if the port is a terminal port ([`NO_WIRE`] otherwise).
+    pub(crate) port_term: Vec<u32>,
     /// Link liveness per port (false = unwired or failed; routing skips
     /// and `pick_vc` refuses dead ports).
     pub(crate) live_ports: Vec<bool>,
@@ -159,14 +187,22 @@ pub struct Router {
     flits_buffered: u32,
     /// Flits buffered per input port (skips the per-port VC/buffer scans
     /// in allocation and switch traversal when a port holds nothing).
+    /// Empty until materialized.
     port_flits: Vec<u32>,
     // Scratch buffers reused every cycle.
     heads: Vec<(u64, PacketId, u16, u8)>,
     cands: Vec<Candidate>,
+    /// Recycled flit deques for dismantled [`PktBuf`]s: head arrivals pop
+    /// from here instead of allocating, so the steady-state tick touches
+    /// the allocator only while the in-flight packet count is still
+    /// growing toward its high-water mark.
+    buf_pool: Vec<VecDeque<Flit>>,
 }
 
 impl Router {
-    /// Creates router `id` with `num_ports` ports.
+    /// Creates router `id` with `num_ports` ports. Cheap: only the u32
+    /// wiring arrays are allocated (the network wires ports immediately
+    /// after construction); the datapath state waits for first use.
     pub fn new(
         id: usize,
         num_ports: usize,
@@ -184,28 +220,62 @@ impl Router {
             xbar_latency: cfg.crossbar_latency,
             xbar_speedup: cfg.crossbar_speedup.max(1),
             class_map: ClassMap::new(v, num_classes),
-            in_q: (0..num_ports * v).map(|_| VecDeque::new()).collect(),
-            out_credits: vec![cfg.buf_flits as u32; num_ports * v],
-            out_owner: vec![None; num_ports * v],
-            out_backlog: vec![0; num_ports],
-            out_q: (0..num_ports).map(|_| VecDeque::new()).collect(),
+            materialized: false,
+            in_q: Vec::new(),
+            out_credits: Vec::new(),
+            out_owner: Vec::new(),
+            out_backlog: Vec::new(),
+            out_q: Vec::new(),
             xbar: VecDeque::new(),
-            out_chan: vec![None; num_ports],
-            in_chan: vec![None; num_ports],
-            port_term: vec![None; num_ports],
+            out_chan: vec![NO_WIRE; num_ports],
+            in_chan: vec![NO_WIRE; num_ports],
+            port_term: vec![NO_WIRE; num_ports],
             live_ports: vec![false; num_ports],
             hop_cap: cfg.max_packet_hops,
             rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             flits_buffered: 0,
-            port_flits: vec![0; num_ports],
+            port_flits: Vec::new(),
             heads: Vec::new(),
             cands: Vec::new(),
+            buf_pool: Vec::new(),
         }
+    }
+
+    /// Allocates the datapath arrays. Pure allocation — no RNG, no
+    /// simulation-visible state change — so the first-touch timing cannot
+    /// affect results.
+    fn materialize(&mut self) {
+        if self.materialized {
+            return;
+        }
+        self.materialized = true;
+        let n = self.num_ports;
+        let v = self.num_vcs;
+        self.in_q = (0..n * v).map(|_| VecDeque::new()).collect();
+        self.out_credits = vec![self.buf_cap; n * v];
+        self.out_owner = vec![NO_OWNER; n * v];
+        self.out_backlog = vec![0; n];
+        self.out_q = (0..n).map(|_| VecDeque::new()).collect();
+        self.port_flits = vec![0; n];
     }
 
     #[inline]
     fn pv(&self, port: usize, vc: usize) -> usize {
         port * self.num_vcs + vc
+    }
+
+    /// Incoming channel of `port`, if wired.
+    #[inline]
+    pub(crate) fn in_ch(&self, port: usize) -> Option<usize> {
+        let c = self.in_chan[port];
+        (c != NO_WIRE).then_some(c as usize)
+    }
+
+    /// Outgoing channel of `port`, if wired.
+    #[inline]
+    pub(crate) fn out_ch(&self, port: usize) -> Option<usize> {
+        let c = self.out_chan[port];
+        (c != NO_WIRE).then_some(c as usize)
     }
 
     /// Router id.
@@ -238,12 +308,18 @@ impl Router {
 
     /// Downstream credits for `(port, vc)` (test/invariant support).
     pub fn credits(&self, port: usize, vc: usize) -> u32 {
+        if !self.materialized {
+            return self.buf_cap;
+        }
         self.out_credits[port * self.num_vcs + vc]
     }
 
     /// Input-buffer occupancy of `(port, vc)` in flits (test/invariant
     /// support).
     pub fn input_occupancy(&self, port: usize, vc: usize) -> usize {
+        if !self.materialized {
+            return 0;
+        }
         self.in_q[port * self.num_vcs + vc]
             .iter()
             .map(|p| p.flits.len())
@@ -253,7 +329,11 @@ impl Router {
     /// Owner of the downstream VC claim on `(port, vc)` (invariant
     /// support).
     pub fn vc_owner(&self, port: usize, vc: usize) -> Option<PacketId> {
-        self.out_owner[port * self.num_vcs + vc]
+        if !self.materialized {
+            return None;
+        }
+        let o = self.out_owner[port * self.num_vcs + vc];
+        (o != NO_OWNER).then_some(o)
     }
 
     /// Whether `port`'s outgoing link is up (wired and not failed).
@@ -264,6 +344,9 @@ impl Router {
     /// Flits inside the crossbar pipe or output queue heading to
     /// `(port, vc)` (invariant support).
     pub fn in_flight_to(&self, port: usize, vc: usize) -> usize {
+        if !self.materialized {
+            return 0;
+        }
         let xbar = self
             .xbar
             .iter()
@@ -288,6 +371,13 @@ impl Router {
     /// defers every externally visible effect into `sink`, which the
     /// network's commit phase replays in router-id order. Trace/metric
     /// observation rides the sink too, gated by its `want_*` flags.
+    ///
+    /// `hints`, when present (event engine), lists exactly the ports with
+    /// matured flit/credit arrivals this cycle (sorted ascending, flits
+    /// before credits per port — the full scan's visit order), so ingress
+    /// touches only those ports instead of scanning all `num_ports`.
+    /// `None` (cycle engine) falls back to the full scan.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn tick(
         &mut self,
         now: u64,
@@ -295,10 +385,12 @@ impl Router {
         algo: &dyn RoutingAlgorithm,
         pool: &PacketPool,
         channels: &[Channel],
+        hints: Option<&[ArrivalHint]>,
         sink: &mut TickSink,
     ) {
+        self.materialize();
         let mut stamp = sink.timed.then(std::time::Instant::now);
-        self.ingress(now, pool, channels, sink);
+        self.ingress(now, pool, channels, hints, sink);
         lap(&mut stamp, &mut sink.timers.ingress_ns);
         let route_before = sink.timers.route_ns;
         self.allocate(now, topo, algo, pool, sink);
@@ -319,50 +411,101 @@ impl Router {
     /// Phase 1: accept arriving flits and returning credits. Flits of
     /// poisoned packets are discarded on arrival, with their buffer
     /// credit returned immediately.
-    fn ingress(&mut self, now: u64, pool: &PacketPool, channels: &[Channel], sink: &mut TickSink) {
-        for port in 0..self.num_ports {
-            if let Some(ch) = self.in_chan[port] {
-                for (flit, vc) in channels[ch].arrived_flits(now) {
-                    if pool.is_poisoned(flit.pkt) {
-                        // Discard and return the buffer credit right away:
-                        // the flit never occupies a slot here.
-                        sink.credits.push((ch, vc));
-                        sink.stats.dropped_flits += 1;
-                        sink.pool_ops.push(PoolOp::Gone(flit.pkt));
-                        continue;
+    fn ingress(
+        &mut self,
+        now: u64,
+        pool: &PacketPool,
+        channels: &[Channel],
+        hints: Option<&[ArrivalHint]>,
+        sink: &mut TickSink,
+    ) {
+        match hints {
+            Some(hints) => {
+                // Sorted (port, kind) keys reproduce the full scan's order:
+                // ports ascending, flits (bit 0 clear) before credits.
+                // Duplicate keys (multi-flit sends share a channel entry in
+                // the wheel) were deduplicated by the caller; a hinted port
+                // whose arrivals turn out empty (killed channel) is a no-op
+                // exactly like the full scan visiting it.
+                for &(_, key) in hints {
+                    let port = (key >> 1) as usize;
+                    if key & 1 == 0 {
+                        self.ingress_flits(now, port, pool, channels, sink);
+                    } else {
+                        self.ingress_credits(now, port, channels);
                     }
-                    let q = &mut self.in_q[port * self.num_vcs + vc as usize];
-                    if flit.is_head() {
-                        q.push_back(PktBuf {
-                            pkt: flit.pkt,
-                            birth: pool.get(flit.pkt).birth,
-                            route: None,
-                            flits: VecDeque::with_capacity(flit.len as usize),
-                            sent: 0,
-                        });
-                        // The buffer itself pins the packet slot until it
-                        // is dismantled (tail forwarded or fault-reaped).
-                        sink.pool_ops.push(PoolOp::Created(flit.pkt));
-                    }
-                    let back = q.back_mut().expect("body flit without a head");
-                    debug_assert_eq!(back.pkt, flit.pkt, "packets interleaved on one VC");
-                    back.flits.push_back(flit);
-                    self.flits_buffered += 1;
-                    self.port_flits[port] += 1;
-                    sink.stats.flit_moves += 1;
                 }
             }
-            if let Some(ch) = self.out_chan[port] {
-                let base = port * self.num_vcs;
-                for vc in channels[ch].arrived_credits(now) {
-                    self.out_credits[base + vc as usize] += 1;
-                    debug_assert!(
-                        self.out_credits[base + vc as usize] <= self.buf_cap,
-                        "credit overflow"
-                    );
+            None => {
+                for port in 0..self.num_ports {
+                    self.ingress_flits(now, port, pool, channels, sink);
+                    self.ingress_credits(now, port, channels);
                 }
             }
         }
+    }
+
+    /// Accepts every matured flit on `port`'s incoming channel.
+    fn ingress_flits(
+        &mut self,
+        now: u64,
+        port: usize,
+        pool: &PacketPool,
+        channels: &[Channel],
+        sink: &mut TickSink,
+    ) {
+        let Some(ch) = self.in_ch(port) else { return };
+        for (flit, vc) in channels[ch].arrived_flits(now) {
+            if pool.is_poisoned(flit.pkt) {
+                // Discard and return the buffer credit right away:
+                // the flit never occupies a slot here.
+                sink.credits.push((ch, vc));
+                sink.stats.dropped_flits += 1;
+                sink.pool_ops.push(PoolOp::Gone(flit.pkt));
+                continue;
+            }
+            let q = &mut self.in_q[port * self.num_vcs + vc as usize];
+            if flit.is_head() {
+                let mut flits = self.buf_pool.pop().unwrap_or_default();
+                flits.clear();
+                q.push_back(PktBuf {
+                    pkt: flit.pkt,
+                    birth: pool.hot(flit.pkt).birth,
+                    route: None,
+                    flits,
+                    sent: 0,
+                });
+                // The buffer itself pins the packet slot until it
+                // is dismantled (tail forwarded or fault-reaped).
+                sink.pool_ops.push(PoolOp::Created(flit.pkt));
+            }
+            let back = q.back_mut().expect("body flit without a head");
+            debug_assert_eq!(back.pkt, flit.pkt, "packets interleaved on one VC");
+            back.flits.push_back(flit);
+            self.flits_buffered += 1;
+            self.port_flits[port] += 1;
+            sink.stats.flit_moves += 1;
+        }
+    }
+
+    /// Absorbs every matured returning credit on `port`'s outgoing channel.
+    fn ingress_credits(&mut self, now: u64, port: usize, channels: &[Channel]) {
+        let Some(ch) = self.out_ch(port) else { return };
+        let base = port * self.num_vcs;
+        for vc in channels[ch].arrived_credits(now) {
+            self.out_credits[base + vc as usize] += 1;
+            debug_assert!(
+                self.out_credits[base + vc as usize] <= self.buf_cap,
+                "credit overflow"
+            );
+        }
+    }
+
+    /// Returns a dismantled packet buffer's flit deque to the arena.
+    #[inline]
+    fn recycle_buf(&mut self, buf: PktBuf) {
+        debug_assert!(buf.flits.is_empty());
+        self.buf_pool.push(buf.flits);
     }
 
     /// Phase 2: route computation + virtual cut-through VC allocation,
@@ -416,7 +559,7 @@ impl Router {
                 // Fault fallout will reap this buffer; don't route it.
                 continue;
             }
-            let pkt = pool.get(pkt_id);
+            let pkt = pool.hot(pkt_id);
             let (dst_router, dst_term, len) = (pkt.dst_router as usize, pkt.dst as usize, pkt.len);
             let state = pkt.route;
             let hops = pkt.hops;
@@ -451,7 +594,7 @@ impl Router {
                     if sink.want_trace {
                         sink.hops.push(HopRecord {
                             pkt: pkt_id,
-                            tag: pool.get(pkt_id).tag,
+                            tag: pool.cold(pkt_id).tag,
                             router: self.id as u32,
                             out_port: eject_port as u16,
                             out_vc: out_vc as u8,
@@ -492,7 +635,7 @@ impl Router {
                 router: self.id,
                 input_port: port,
                 input_vc: vc,
-                from_terminal: self.port_term[port].is_some(),
+                from_terminal: self.port_term[port] != NO_WIRE,
                 dst_router,
                 dst_terminal: dst_term,
                 pkt_len: len as usize,
@@ -555,7 +698,7 @@ impl Router {
                     if sink.want_trace {
                         sink.hops.push(HopRecord {
                             pkt: pkt_id,
-                            tag: pool.get(pkt_id).tag,
+                            tag: pool.cold(pkt_id).tag,
                             router: self.id as u32,
                             out_port: out_port as u16,
                             out_vc: out_vc as u8,
@@ -581,13 +724,13 @@ impl Router {
     /// of `len` flits, honoring virtual cut-through (whole-packet credits)
     /// and atomic queue allocation.
     fn pick_vc(&self, port: usize, range: std::ops::Range<usize>, len: u16) -> Option<usize> {
-        if self.out_chan[port].is_none() || !self.live_ports[port] {
+        if self.out_chan[port] == NO_WIRE || !self.live_ports[port] {
             return None;
         }
         let mut best: Option<(u32, usize)> = None;
         for vc in range {
             let i = self.pv(port, vc);
-            if self.out_owner[i].is_some() {
+            if self.out_owner[i] != NO_OWNER {
                 continue;
             }
             let cr = self.out_credits[i];
@@ -608,11 +751,11 @@ impl Router {
     /// means the packet is credit-starved, otherwise every candidate VC is
     /// claimed by another packet.
     fn has_unclaimed_vc(&self, port: usize, range: std::ops::Range<usize>) -> bool {
-        self.out_chan[port].is_some()
+        self.out_chan[port] != NO_WIRE
             && self.live_ports[port]
             && range.into_iter().any(|vc| {
                 let i = self.pv(port, vc);
-                self.out_owner[i].is_none()
+                self.out_owner[i] == NO_OWNER
             })
     }
 
@@ -636,9 +779,9 @@ impl Router {
         sink: &mut TickSink,
     ) {
         let o = self.pv(out_port, out_vc);
-        debug_assert!(self.out_owner[o].is_none());
+        debug_assert!(self.out_owner[o] == NO_OWNER);
         debug_assert!(self.out_credits[o] >= len as u32);
-        self.out_owner[o] = Some(pkt_id);
+        self.out_owner[o] = pkt_id;
         self.out_credits[o] -= len as u32;
         let i = self.pv(in_port, in_vc);
         let buf = self.in_q[i]
@@ -646,7 +789,7 @@ impl Router {
             .find(|b| b.pkt == pkt_id)
             .expect("granted packet vanished from its input VC");
         buf.route = Some((out_port as u16, out_vc as u8));
-        let count_hop = network_hop && self.port_term[out_port].is_none();
+        let count_hop = network_hop && self.port_term[out_port] == NO_WIRE;
         if count_hop || !matches!(commit, Commit::None) {
             sink.pool_ops.push(PoolOp::Commit {
                 pkt: pkt_id,
@@ -697,17 +840,18 @@ impl Router {
                 self.port_flits[port] -= 1;
                 sink.stats.flit_moves += 1;
                 if flit.is_tail() {
-                    self.in_q[i].remove(bi);
+                    let buf = self.in_q[i].remove(bi).expect("indexed buffer exists");
+                    self.recycle_buf(buf);
                     sink.pool_ops.push(PoolOp::Gone(flit.pkt)); // the buffer's own pin
                     let o = self.pv(out_port as usize, out_vc as usize);
-                    debug_assert_eq!(self.out_owner[o], Some(flit.pkt));
-                    self.out_owner[o] = None;
+                    debug_assert_eq!(self.out_owner[o], flit.pkt);
+                    self.out_owner[o] = NO_OWNER;
                 }
                 self.xbar
                     .push_back((now + self.xbar_latency, flit, out_port, out_vc));
                 self.out_backlog[out_port as usize] += 1;
                 // Credit for the freed input-buffer slot.
-                if let Some(ch) = self.in_chan[port] {
+                if let Some(ch) = self.in_ch(port) {
                     sink.credits.push((ch, vc as u8));
                 }
             }
@@ -730,7 +874,7 @@ impl Router {
         for port in 0..self.num_ports {
             if let Some((flit, vc)) = self.out_q[port].pop_front() {
                 self.out_backlog[port] -= 1;
-                let ch = self.out_chan[port].expect("queued flit on unwired port");
+                let ch = self.out_ch(port).expect("queued flit on unwired port");
                 sink.flits.push((ch, flit, vc));
             }
         }
@@ -748,6 +892,10 @@ impl Router {
         mut trace: Option<&mut Trace>,
         now: u64,
     ) {
+        if !self.materialized {
+            // Never carried a flit: nothing buffered, nothing to poison.
+            return;
+        }
         // Packets granted the dead output port (from any input VC).
         for q in &self.in_q {
             for buf in q {
@@ -767,7 +915,7 @@ impl Router {
         for vc in 0..self.num_vcs {
             let i = self.pv(port, vc);
             for buf in &self.in_q[i] {
-                let len = pool.get(buf.pkt).len;
+                let len = pool.hot(buf.pkt).len;
                 if (buf.sent as usize + buf.flits.len()) < len as usize {
                     poison_packet(
                         pool,
@@ -793,7 +941,7 @@ impl Router {
         stats: &mut Stats,
         channels: &mut [Channel],
     ) {
-        if !pool.any_poisoned() {
+        if !self.materialized || !pool.any_poisoned() {
             return;
         }
         for port in 0..self.num_ports {
@@ -805,12 +953,12 @@ impl Router {
                         bi += 1;
                         continue;
                     }
-                    let buf = self.in_q[i].remove(bi).expect("indexed buffer exists");
-                    let len = pool.get(buf.pkt).len;
+                    let mut buf = self.in_q[i].remove(bi).expect("indexed buffer exists");
+                    let len = pool.hot(buf.pkt).len;
                     if let Some((op, ov)) = buf.route {
                         let o = self.pv(op as usize, ov as usize);
-                        debug_assert_eq!(self.out_owner[o], Some(buf.pkt));
-                        self.out_owner[o] = None;
+                        debug_assert_eq!(self.out_owner[o], buf.pkt);
+                        self.out_owner[o] = NO_OWNER;
                         // Refund the reservation for flits never forwarded.
                         // (Flits already sent return their credit from the
                         // receiver — or never, if they died on the wire; a
@@ -818,16 +966,17 @@ impl Router {
                         let refund = (len - buf.sent) as u32;
                         self.out_credits[o] = (self.out_credits[o] + refund).min(self.buf_cap);
                     }
-                    for flit in buf.flits {
+                    for flit in buf.flits.drain(..) {
                         self.flits_buffered -= 1;
                         self.port_flits[port] -= 1;
                         stats.dropped_flits += 1;
-                        if let Some(ch) = self.in_chan[port] {
-                            channels[ch].send_credit(now, vc as u8);
+                        if self.in_chan[port] != NO_WIRE {
+                            channels[self.in_chan[port] as usize].send_credit(now, vc as u8);
                         }
                         pool.note_flit_gone(flit.pkt);
                     }
                     pool.note_flit_gone(buf.pkt); // the buffer's own pin
+                    self.recycle_buf(buf);
                 }
             }
         }
@@ -837,6 +986,9 @@ impl Router {
     /// heading to `port`. Called before reviving the attached link so stale
     /// remnants of killed packets never reach the fresh wire.
     pub(crate) fn purge_egress(&mut self, port: usize, pool: &mut PacketPool, stats: &mut Stats) {
+        if !self.materialized {
+            return;
+        }
         let xbar = std::mem::take(&mut self.xbar);
         for (t, flit, op, ov) in xbar {
             if op as usize == port {
@@ -858,10 +1010,11 @@ impl Router {
     /// Rebuilds downstream credit state for `port` after a link revival:
     /// capacity minus the receiver's actual buffer occupancy per VC.
     pub(crate) fn reset_out_credits(&mut self, port: usize, occupancy: &[usize]) {
+        self.materialize();
         debug_assert_eq!(occupancy.len(), self.num_vcs);
         for (vc, &occ) in occupancy.iter().enumerate() {
             let i = self.pv(port, vc);
-            debug_assert!(self.out_owner[i].is_none(), "claim survived a dead link");
+            debug_assert!(self.out_owner[i] == NO_OWNER, "claim survived a dead link");
             self.out_credits[i] = self.buf_cap - occ as u32;
         }
     }
@@ -916,5 +1069,20 @@ mod tests {
         assert!(r.is_idle());
         assert_eq!(r.credits(0, 0), cfg.buf_flits as u32);
         assert_eq!(r.total_flits(), 0);
+    }
+
+    #[test]
+    fn unmaterialized_router_reports_defaults() {
+        let cfg = SimConfig::default();
+        let mut r = Router::new(0, 6, &cfg, 2, 1);
+        assert!(!r.materialized);
+        assert_eq!(r.input_occupancy(3, 1), 0);
+        assert_eq!(r.vc_owner(2, 0), None);
+        assert_eq!(r.in_flight_to(1, 1), 0);
+        assert_eq!(r.next_wake(10), None);
+        r.materialize();
+        assert!(r.materialized);
+        assert_eq!(r.credits(0, 0), cfg.buf_flits as u32);
+        assert_eq!(r.input_occupancy(3, 1), 0);
     }
 }

@@ -329,11 +329,11 @@ impl Sim {
     /// Snapshots the wedged network for the abort diagnostic.
     fn build_watchdog_report(&self) -> WatchdogReport {
         let (mut oldest_tag, mut oldest_age) = (0, 0);
-        for (_, pkt) in self.pool.live_packets() {
-            let age = self.now.saturating_sub(pkt.birth);
+        for (_, hot, cold) in self.pool.live_packets() {
+            let age = self.now.saturating_sub(hot.birth);
             if age >= oldest_age {
                 oldest_age = age;
-                oldest_tag = pkt.tag;
+                oldest_tag = cold.tag;
             }
         }
         let mut routers = Vec::new();

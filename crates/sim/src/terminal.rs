@@ -100,23 +100,24 @@ impl Terminal {
             sink.credits.push((self.in_chan, vc));
             sink.stats.flit_moves += 1;
             if flit.is_tail() && !pool.is_poisoned(flit.pkt) {
-                let pkt = pool.get(flit.pkt);
-                debug_assert_eq!(pkt.dst as usize, self.id, "misrouted packet");
-                let latency = now - pkt.birth;
-                let net_latency = now - pkt.inject;
+                let hot = pool.hot(flit.pkt);
+                let cold = pool.cold(flit.pkt);
+                debug_assert_eq!(hot.dst as usize, self.id, "misrouted packet");
+                let latency = now - hot.birth;
+                let net_latency = now - cold.inject;
                 sink.stats
-                    .record_delivery(latency, net_latency, pkt.hops, pkt.len);
+                    .record_delivery(latency, net_latency, hot.hops, hot.len);
                 sink.delivered.push(Delivered {
-                    src: pkt.src,
-                    dst: pkt.dst,
-                    len: pkt.len,
-                    tag: pkt.tag,
-                    birth: pkt.birth,
-                    inject: pkt.inject,
+                    src: cold.src,
+                    dst: hot.dst,
+                    len: hot.len,
+                    tag: cold.tag,
+                    birth: hot.birth,
+                    inject: cold.inject,
                     latency,
                     net_latency,
-                    hops: pkt.hops,
-                    seq: pkt.seq,
+                    hops: hot.hops,
+                    seq: cold.seq,
                 });
                 sink.pool_ops.push(PoolOp::Gone(flit.pkt));
                 sink.pool_ops.push(PoolOp::Release(flit.pkt));
@@ -132,7 +133,7 @@ impl Terminal {
         // routers' `pick_vc`), then send one flit per cycle.
         if self.cur.is_none() {
             if let Some(&pkt_id) = self.inj_q.front() {
-                let len = pool.get(pkt_id).len as u32;
+                let len = pool.hot(pkt_id).len as u32;
                 // Most-credits VC that can hold the whole packet; random
                 // tie-break across fully-idle VCs avoids biasing VC 0.
                 let mut best: Option<(u32, u32, usize)> = None;
@@ -163,7 +164,7 @@ impl Terminal {
             }
         }
         if let Some((pkt_id, idx, vc)) = self.cur {
-            let len = pool.get(pkt_id).len;
+            let len = pool.hot(pkt_id).len;
             let flit = Flit {
                 pkt: pkt_id,
                 idx,
@@ -188,7 +189,7 @@ impl Terminal {
     pub(crate) fn reap_poisoned(&mut self, pool: &mut PacketPool) {
         if let Some((pkt_id, idx, vc)) = self.cur {
             if pool.is_poisoned(pkt_id) {
-                let len = pool.get(pkt_id).len;
+                let len = pool.hot(pkt_id).len;
                 self.credits[vc as usize] += (len - idx) as u32;
                 self.cur = None;
                 pool.note_flit_gone(pkt_id); // drop the injection pin

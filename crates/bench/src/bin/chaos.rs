@@ -1,0 +1,296 @@
+//! Chaos campaign: randomized gray-failure storms under link-level retry.
+//!
+//! Each storm (one seed) draws its own set of flapping links, one or more
+//! degraded links, and — on the `--router-fails` axis — whole-router
+//! kills, all on top of a uniform bit-error rate that corrupts flits on
+//! every cable. The link-level retry sublayer must recover every
+//! transient below the transport, so after every storm the binary
+//! asserts the standing invariants:
+//!
+//!   - 100% logical delivery, nothing abandoned, watchdog quiet
+//!     (credit conservation is audited inside the engines themselves);
+//!   - transport `retransmits == 0` on transient-only storms
+//!     (`router_fails = 0`) — corruption and flaps never surface;
+//!   - with `--verify`, bit-identical rows across tick thread counts
+//!     {1, 4} and across both engines.
+//!
+//! Per-storm recovery metrics (`llr_replays`, `crc_errors`,
+//! `flaps_survived`) render as tables and land in the schema-versioned
+//! JSONL artifact via `--json`.
+//!
+//! ```text
+//! cargo run --release -p hxbench --bin chaos -- \
+//!     [--algos DimWAR,OmniWAR,FT-WAR] [--storms 3] [--router-fails 0,1] \
+//!     [--ber 1e-5] [--flap-links 2] [--degrade-links 1] [--load 0.2] \
+//!     [--cycles 2000] [--retransmit 6000] [--full] [--seed 1] \
+//!     [--json out.jsonl] [--threads N] [--verify] [--no-cache]
+//! ```
+//!
+//! Default network is a 3x3x2 (54-terminal) HyperX; `--full` runs the
+//! reduced evaluation network (3x4x4, 256 terminals) that the committed
+//! `experiments/chaos_reduced.toml` CI spec uses.
+
+use std::path::Path;
+
+use hxbench::{render_table, Args, CommonArgs};
+use hxharness::{
+    execute_point, parse_json, run_sweep, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts,
+};
+use hxsim::{Engine, SimConfig, SteadyOpts};
+
+const DEFAULT_ALGOS: &[&str] = &["DimWAR", "OmniWAR", "FT-WAR"];
+
+struct Row {
+    algo: String,
+    seed: u64,
+    router_fails: usize,
+    delivered_fraction: f64,
+    wedged: bool,
+    abandoned: u64,
+    retransmits: u64,
+    llr_replays: u64,
+    crc_errors: u64,
+    flaps_survived: u64,
+    p99_latency: f64,
+}
+
+fn parse_row(line: &str) -> Row {
+    let v = parse_json(line).expect("harness rows are valid JSON");
+    let int = |k: &str| {
+        v.get(k)
+            .and_then(|x| x.as_i64())
+            .unwrap_or_else(|| panic!("{k}")) as u64
+    };
+    let num = |k: &str| {
+        v.get(k)
+            .and_then(|x| x.as_f64())
+            .unwrap_or_else(|| panic!("{k}"))
+    };
+    Row {
+        algo: v
+            .get("algo")
+            .and_then(|x| x.as_str())
+            .expect("algo")
+            .to_string(),
+        seed: int("seed"),
+        router_fails: int("router_fails") as usize,
+        delivered_fraction: num("delivered_fraction"),
+        wedged: v.get("wedged").and_then(|x| x.as_bool()).expect("wedged"),
+        abandoned: int("abandoned"),
+        retransmits: int("retransmits"),
+        llr_replays: int("llr_replays"),
+        crc_errors: int("crc_errors"),
+        flaps_survived: int("flaps_survived"),
+        p99_latency: num("p99_latency"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let common = CommonArgs::parse(&args);
+    let storms: u64 = args.get_or("storms", 3);
+    let load: f64 = args.get_or("load", 0.2);
+    let cycles: u64 = args.get_or("cycles", 2_000);
+    let ber: f64 = args.get_or("ber", 1e-5);
+    let flap_links: usize = args.get_or("flap-links", 2);
+    let degrade_links: usize = args.get_or("degrade-links", 1);
+    let retransmit: u64 = args.get_or("retransmit", 6_000);
+    let algos: Vec<String> = args
+        .get("algos")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| DEFAULT_ALGOS.iter().map(|s| s.to_string()).collect());
+    let router_fails: Vec<usize> = args
+        .get("router-fails")
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.parse().expect("bad --router-fails"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0, 1]);
+
+    let (width, terminals) = if common.full { (4, 4) } else { (3, 2) };
+    let spec = ExperimentSpec {
+        name: "chaos".to_string(),
+        kind: Kind::Fault,
+        description: "Randomized gray-failure storms under link-level retry".to_string(),
+        network: NetworkSpec {
+            dims: 3,
+            width,
+            terminals,
+        },
+        axes: hxharness::spec::Axes {
+            patterns: vec!["UR".to_string()],
+            algos: algos.clone(),
+            loads: vec![load],
+            seeds: (0..storms.max(1)).map(|i| common.seed + i).collect(),
+            fails: vec![0],
+            router_fails: router_fails.clone(),
+            retransmit: vec![retransmit],
+        },
+        sim: SimConfig {
+            llr_enabled: true,
+            error_ber: ber,
+            llr_window: 64,
+            watchdog_stall_cycles: 2_000,
+            tick_threads: 1,
+            ..SimConfig::default()
+        },
+        steady: SteadyOpts::default(),
+        fault: hxharness::FaultProtocol {
+            cycles,
+            drain_factor: 6,
+            kill_cycle: cycles / 5,
+            revive_cycle: cycles * 3 / 5,
+            flap_links,
+            flap_first: cycles * 3 / 20,
+            flap_period: cycles / 8,
+            flap_down_cycles: cycles / 33,
+            flap_count: 4,
+            degrade_links,
+            degrade_extra_latency: 2,
+            degrade_half_bw: true,
+        },
+        overrides: Vec::new(),
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+
+    let store = if args.flag("no-cache") || args.flag("verify") {
+        None
+    } else {
+        match Store::open(Path::new(hxharness::DEFAULT_STORE_DIR)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("warning: cannot open result store ({e}); running uncached");
+                None
+            }
+        }
+    };
+    let opts = SweepOpts {
+        tick_threads: args.get_or("threads", 0),
+        progress: true,
+        ..SweepOpts::default()
+    };
+    let report = match run_sweep(
+        &spec,
+        store.as_ref(),
+        common.json.as_deref().map(Path::new),
+        &opts,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<Row> = report.rows.iter().map(|l| parse_row(l)).collect();
+
+    // Standing invariants: every storm must end with full logical
+    // delivery and — when only transients struck — a silent transport.
+    let mut violations = 0usize;
+    for r in &rows {
+        let mut fail = |what: &str| {
+            violations += 1;
+            eprintln!(
+                "INVARIANT VIOLATED [{} storm seed {} routers-killed {}]: {what}",
+                r.algo, r.seed, r.router_fails
+            );
+        };
+        if r.delivered_fraction < 1.0 {
+            fail(&format!("delivered fraction {}", r.delivered_fraction));
+        }
+        if r.abandoned > 0 {
+            fail(&format!("{} packets abandoned", r.abandoned));
+        }
+        if r.wedged {
+            fail("watchdog fired");
+        }
+        if r.router_fails == 0 && r.retransmits > 0 {
+            fail(&format!(
+                "{} transport retransmits on a transient-only storm",
+                r.retransmits
+            ));
+        }
+        if ber > 0.0 && r.crc_errors == 0 {
+            fail("BER produced no corruption (vacuous storm)");
+        }
+    }
+
+    // Per-storm recovery metrics.
+    let header = vec![
+        "storm".to_string(),
+        "algo".to_string(),
+        "delivered".to_string(),
+        "llr_replays".to_string(),
+        "crc_errors".to_string(),
+        "flaps".to_string(),
+        "retransmits".to_string(),
+        "p99 latency".to_string(),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("seed {} +{}r", r.seed, r.router_fails),
+                r.algo.clone(),
+                format!("{:.3}", r.delivered_fraction),
+                r.llr_replays.to_string(),
+                r.crc_errors.to_string(),
+                r.flaps_survived.to_string(),
+                r.retransmits.to_string(),
+                format!("{:.0}", r.p99_latency),
+            ]
+        })
+        .collect();
+    println!(
+        "\nChaos campaign: {} storms x {} algos, BER {ber:.0e}, {flap_links} flapping + {degrade_links} degraded links (UR load {load:.2})",
+        storms.max(1),
+        algos.len()
+    );
+    println!("{}", render_table(&header, &table));
+
+    if args.flag("verify") {
+        // Bit-identity across thread counts and engines: re-run the whole
+        // sweep serially and at 4 tick threads, then every point on the
+        // legacy cycle engine, and require byte-equal rows.
+        eprintln!("verify: re-running sweep at tick_threads {{1, 4}} and on the cycle engine...");
+        let run_at = |tt: usize| {
+            run_sweep(
+                &spec,
+                None,
+                None,
+                &SweepOpts {
+                    tick_threads: tt,
+                    ..SweepOpts::default()
+                },
+            )
+            .expect("verify sweep runs")
+            .rows
+        };
+        let rows1 = run_at(1);
+        if rows1 != run_at(4) {
+            violations += 1;
+            eprintln!("INVARIANT VIOLATED: rows differ across tick_threads {{1, 4}}");
+        }
+        let cycle_rows: Vec<String> = spec
+            .expand()
+            .into_iter()
+            .map(|mut p| {
+                p.sim.engine = Engine::Cycle;
+                execute_point(&p, 1, None).0
+            })
+            .collect();
+        if rows1 != cycle_rows {
+            violations += 1;
+            eprintln!("INVARIANT VIOLATED: rows differ across engines");
+        }
+    }
+
+    if violations > 0 {
+        eprintln!("\n{violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+    println!("all storm invariants held");
+}

@@ -159,6 +159,7 @@ fn main() {
             drain_factor: 4,
             kill_cycle: kill,
             revive_cycle: revive,
+            ..Default::default()
         },
         overrides: Vec::new(),
     };

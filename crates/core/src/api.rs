@@ -108,6 +108,16 @@ pub trait RouterView {
     fn occupancy(&self, port: usize, vc: usize) -> usize {
         self.capacity(port, vc) - self.free_space(port, vc)
     }
+
+    /// Health penalty of `port`'s outgoing link, in equivalent flits of
+    /// congestion. Nonzero when the link's retry sublayer has seen recent
+    /// CRC errors or flaps, its replay buffer is filling, or the link runs
+    /// degraded — the weight function folds it in so adaptive algorithms
+    /// steer around lossy links *before* they die. Defaults to 0 for
+    /// views without link-health tracking.
+    fn link_health_penalty(&self, _port: usize) -> u64 {
+        0
+    }
 }
 
 /// Everything a routing algorithm may inspect when making a decision.

@@ -19,6 +19,9 @@ pub struct MockView {
     pub claimed: Vec<Vec<bool>>,
     /// Whether each port's outgoing link is up.
     pub live: Vec<bool>,
+    /// Link-health penalty per port (gray-failure pressure in weight
+    /// units; see `RouterView::link_health_penalty`).
+    pub health: Vec<u64>,
 }
 
 impl MockView {
@@ -31,6 +34,7 @@ impl MockView {
             queues: vec![0; ports],
             claimed: vec![vec![false; vcs]; ports],
             live: vec![true; ports],
+            health: vec![0; ports],
         }
     }
 
@@ -66,5 +70,8 @@ impl RouterView for MockView {
     }
     fn port_live(&self, port: usize) -> bool {
         self.live[port]
+    }
+    fn link_health_penalty(&self, port: usize) -> u64 {
+        self.health[port]
     }
 }

@@ -15,12 +15,18 @@ use crate::api::{ClassMap, RouterView};
 /// on URBy (Figure 6d): remote congestion back-pressures *all* of the
 /// source's first-hop ports equally, so the minimal path never looks worse
 /// than the Valiant one and UGAL degenerates to DOR.
+///
+/// The link-health penalty ([`RouterView::link_health_penalty`]) rides on
+/// top: a link shedding CRC errors or flapping costs replay bandwidth that
+/// plain occupancy cannot see yet, so gray-failing links are priced like
+/// congested ones and adaptive algorithms steer around them before they
+/// die. Zero on healthy links, so fault-free behaviour is unchanged.
 #[inline]
 pub fn port_congestion(view: &dyn RouterView, port: usize) -> u64 {
     let occ: u64 = (0..view.num_vcs())
         .map(|vc| view.occupancy(port, vc) as u64)
         .sum();
-    occ + view.queue_len(port) as u64
+    occ + view.queue_len(port) as u64 + view.link_health_penalty(port)
 }
 
 /// Congestion estimate for a specific `(port, class)` candidate: the
@@ -45,7 +51,9 @@ pub fn candidate_congestion(
     let vcs = map.vcs_of(class);
     let n = vcs.len() as u64;
     let occ_cls: u64 = vcs.map(|vc| view.occupancy(port, vc) as u64).sum();
-    let class_pressure = occ_cls * view.num_vcs() as u64 / n.max(1) + view.queue_len(port) as u64;
+    let class_pressure = occ_cls * view.num_vcs() as u64 / n.max(1)
+        + view.queue_len(port) as u64
+        + view.link_health_penalty(port);
     class_pressure.max(port_congestion(view, port))
 }
 
@@ -100,6 +108,18 @@ mod tests {
         v.queues[0] = 5;
         v.occ[0][2] = 3;
         assert_eq!(port_congestion(&v, 0), 8);
+    }
+
+    #[test]
+    fn congestion_includes_link_health_penalty() {
+        let mut v = MockView::idle(2, 4, 16);
+        v.health[1] = 250;
+        assert_eq!(port_congestion(&v, 0), 0);
+        assert_eq!(port_congestion(&v, 1), 250);
+        // A gray-failing idle port must weigh worse than a lightly
+        // congested healthy one.
+        v.queues[0] = 5;
+        assert!(port_congestion(&v, 1) > port_congestion(&v, 0));
     }
 
     #[test]

@@ -37,15 +37,14 @@ pub fn canonical_json(p: &Point) -> String {
     // points so tuning [fault] never invalidates steady results. (The
     // retransmit axis needs no field of its own: it is mirrored into
     // `sim.retransmit_timeout`, already inside the canonical config.)
-    let (fault_cycles, drain_factor, kill_cycle, revive_cycle) = if p.kind == Kind::Fault {
-        (
-            p.fault.cycles,
-            p.fault.drain_factor,
-            p.fault.kill_cycle,
-            p.fault.revive_cycle,
-        )
+    let f = if p.kind == Kind::Fault {
+        p.fault
     } else {
-        (0, 0, 0, 0)
+        crate::spec::FaultProtocol {
+            cycles: 0,
+            drain_factor: 0,
+            ..Default::default()
+        }
     };
     format!(
         concat!(
@@ -56,7 +55,10 @@ pub fn canonical_json(p: &Point) -> String {
             "\"sim\":{},\"warmup_window\":{},\"max_warmup_windows\":{},",
             "\"measure_cycles\":{},\"stability_tol\":{},",
             "\"fault_cycles\":{},\"drain_factor\":{},",
-            "\"kill_cycle\":{},\"revive_cycle\":{}}}"
+            "\"kill_cycle\":{},\"revive_cycle\":{},",
+            "\"flap_links\":{},\"flap_first\":{},\"flap_period\":{},",
+            "\"flap_down_cycles\":{},\"flap_count\":{},",
+            "\"degrade_links\":{},\"degrade_extra_latency\":{},\"degrade_half_bw\":{}}}"
         ),
         hxsim::SCHEMA_VERSION,
         json_of(&WORKSPACE_VERSION.to_string()),
@@ -75,10 +77,18 @@ pub fn canonical_json(p: &Point) -> String {
         p.steady.max_warmup_windows,
         p.steady.measure_cycles,
         json_of(&p.steady.stability_tol),
-        fault_cycles,
-        drain_factor,
-        kill_cycle,
-        revive_cycle,
+        f.cycles,
+        f.drain_factor,
+        f.kill_cycle,
+        f.revive_cycle,
+        f.flap_links,
+        f.flap_first,
+        f.flap_period,
+        f.flap_down_cycles,
+        f.flap_count,
+        f.degrade_links,
+        f.degrade_extra_latency,
+        f.degrade_half_bw,
     )
 }
 

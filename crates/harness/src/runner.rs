@@ -60,6 +60,14 @@ pub struct PointRow {
     /// Cycles from the fault strike to the last timeout-recovered
     /// delivery (0 when nothing needed recovery).
     pub time_to_recover: u64,
+    /// Gray-failure recovery metrics; all zero without `llr_enabled`.
+    /// Frames resent by the link-level retry sublayer.
+    pub llr_replays: u64,
+    /// Flits discarded at a receiver for CRC failure (all recovered by
+    /// replay).
+    pub crc_errors: u64,
+    /// Link down-edges (flaps) survived.
+    pub flaps_survived: u64,
 }
 
 /// Runs `point` to completion and returns its serialized row (plus the
@@ -114,6 +122,66 @@ pub fn execute_point(
                     schedule = schedule.revive_router_at(revive, r);
                 }
             }
+            // Gray failures ride on extra cables disjoint from the hard
+            // kill set (a flap on an already-dead cable is invisible) and
+            // from killed routers' ports. The draw is salted so the same
+            // seed yields independent kill and gray sets, and oversized so
+            // filtering still leaves enough cables.
+            let fp = &point.fault;
+            let wanted = fp.flap_links + fp.degrade_links;
+            if wanted > 0 {
+                let killed: std::collections::BTreeSet<(usize, usize)> = faults.links().collect();
+                let dead_routers: std::collections::BTreeSet<usize> = faults.routers().collect();
+                let pool = FaultSet::random_links(
+                    &*hx,
+                    killed.len() + dead_routers.len() * hx.num_ports(0) + wanted,
+                    point.seed ^ 0xC4A0_5F0D_9B1E_2D77,
+                );
+                let gray: Vec<(usize, usize)> = pool
+                    .links()
+                    .filter(|&(r, p)| {
+                        let peer = match hx.port_target(r, p) {
+                            hxtopo::PortTarget::Router { router, .. } => router,
+                            _ => return false,
+                        };
+                        !killed.contains(&(r, p))
+                            && !dead_routers.contains(&r)
+                            && !dead_routers.contains(&peer)
+                    })
+                    .take(wanted)
+                    .collect();
+                assert!(
+                    gray.len() == wanted,
+                    "topology too small for {wanted} gray links on top of the kill set"
+                );
+                for &(r, p) in gray.iter().take(fp.flap_links) {
+                    schedule = schedule.flap_link(
+                        r,
+                        p,
+                        fp.flap_first,
+                        fp.flap_period,
+                        fp.flap_down_cycles,
+                        fp.flap_count,
+                    );
+                }
+                for &(r, p) in gray.iter().skip(fp.flap_links) {
+                    schedule = schedule.degrade_link_at(
+                        kill,
+                        r,
+                        p,
+                        fp.degrade_extra_latency,
+                        fp.degrade_half_bw,
+                    );
+                    if revive > 0 {
+                        schedule = schedule.restore_link_at(revive, r, p);
+                    }
+                }
+            }
+            // A spec passes load-time validation, but the expanded
+            // schedule (flap arithmetic included) gets the final word.
+            schedule
+                .validate(fp.cycles * (1 + fp.drain_factor))
+                .unwrap_or_else(|e| panic!("fault schedule invalid: {e}"));
             sim.set_fault_schedule(schedule);
             sim.run(&mut traffic, point.fault.cycles);
             // Stop injecting and let survivors drain (ends early if
@@ -210,6 +278,9 @@ pub fn execute_point(
                 0
             }
         }),
+        llr_replays: sim.stats.llr_replays,
+        crc_errors: sim.stats.crc_errors,
+        flaps_survived: sim.stats.flaps,
     };
     let summary = sim.metrics().map(|m| m.summary());
     (hxsim::versioned_json_row(&row), summary)

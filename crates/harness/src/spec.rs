@@ -91,6 +91,28 @@ pub struct FaultProtocol {
     /// window (`revive_cycle > cycles`) is allowed — stranded packets
     /// then recover while no new traffic is offered.
     pub revive_cycle: u64,
+    /// Gray-failure layer: distinct extra cables that flap (transient
+    /// down/up edges recovered by link-level retry; requires
+    /// `sim.llr_enabled`). Flap links are drawn disjoint from the killed
+    /// set — a flap on an already-dead cable would be invisible.
+    pub flap_links: usize,
+    /// Cycle of the first down edge of every flap schedule.
+    pub flap_first: u64,
+    /// Cycles between consecutive down edges (must exceed
+    /// `flap_down_cycles`).
+    pub flap_period: u64,
+    /// Cycles each flap keeps the link down.
+    pub flap_down_cycles: u64,
+    /// Down/up edges per flapping link.
+    pub flap_count: u32,
+    /// Distinct extra cables degraded (gray, not dead) at `kill_cycle`
+    /// and restored at `revive_cycle` (if nonzero); also disjoint from
+    /// the killed set.
+    pub degrade_links: usize,
+    /// One-way latency added to each degraded cable.
+    pub degrade_extra_latency: u64,
+    /// Whether degraded cables also serialize at half bandwidth.
+    pub degrade_half_bw: bool,
 }
 
 impl Default for FaultProtocol {
@@ -100,7 +122,22 @@ impl Default for FaultProtocol {
             drain_factor: 4,
             kill_cycle: 0,
             revive_cycle: 0,
+            flap_links: 0,
+            flap_first: 0,
+            flap_period: 0,
+            flap_down_cycles: 0,
+            flap_count: 1,
+            degrade_links: 0,
+            degrade_extra_latency: 0,
+            degrade_half_bw: false,
         }
+    }
+}
+
+impl FaultProtocol {
+    /// Whether any gray (transient) fault knob is active.
+    pub fn has_transients(&self) -> bool {
+        self.flap_links > 0 || self.degrade_links > 0
     }
 }
 
@@ -301,7 +338,20 @@ impl ExperimentSpec {
             let t = t.as_table().ok_or("[fault] must be a table")?;
             check_keys(
                 t,
-                &["cycles", "drain_factor", "kill_cycle", "revive_cycle"],
+                &[
+                    "cycles",
+                    "drain_factor",
+                    "kill_cycle",
+                    "revive_cycle",
+                    "flap_links",
+                    "flap_first",
+                    "flap_period",
+                    "flap_down_cycles",
+                    "flap_count",
+                    "degrade_links",
+                    "degrade_extra_latency",
+                    "degrade_half_bw",
+                ],
                 "[fault]",
             )?;
             if let Some(c) = t.get("cycles") {
@@ -328,6 +378,42 @@ impl ExperimentSpec {
                         .filter(|&r| r >= 0)
                         .ok_or("fault.revive_cycle must be >= 0")? as u64;
             }
+            let uint = |key: &str| -> Result<Option<u64>, String> {
+                match t.get(key) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .as_i64()
+                        .filter(|&x| x >= 0)
+                        .map(|x| Some(x as u64))
+                        .ok_or_else(|| format!("fault.{key} must be a non-negative integer")),
+                }
+            };
+            if let Some(n) = uint("flap_links")? {
+                fault.flap_links = n as usize;
+            }
+            if let Some(c) = uint("flap_first")? {
+                fault.flap_first = c;
+            }
+            if let Some(p) = uint("flap_period")? {
+                fault.flap_period = p;
+            }
+            if let Some(d) = uint("flap_down_cycles")? {
+                fault.flap_down_cycles = d;
+            }
+            if let Some(c) = uint("flap_count")? {
+                fault.flap_count = c as u32;
+            }
+            if let Some(n) = uint("degrade_links")? {
+                fault.degrade_links = n as usize;
+            }
+            if let Some(l) = uint("degrade_extra_latency")? {
+                fault.degrade_extra_latency = l;
+            }
+            if let Some(b) = t.get("degrade_half_bw") {
+                fault.degrade_half_bw = b
+                    .as_bool()
+                    .ok_or("fault.degrade_half_bw must be a boolean")?;
+            }
             if fault.kill_cycle >= fault.cycles {
                 return Err(format!(
                     "fault.kill_cycle {} must lie inside the injection window ({} cycles)",
@@ -339,6 +425,32 @@ impl ExperimentSpec {
                     "fault.revive_cycle {} must come after kill_cycle {}",
                     fault.revive_cycle, fault.kill_cycle
                 ));
+            }
+            if fault.flap_links > 0 {
+                if fault.flap_down_cycles == 0 || fault.flap_period <= fault.flap_down_cycles {
+                    return Err(format!(
+                        "fault.flap_period {} must exceed fault.flap_down_cycles {} (> 0): \
+                         a zero-width or always-down flap never recovers",
+                        fault.flap_period, fault.flap_down_cycles
+                    ));
+                }
+                if fault.flap_count == 0 {
+                    return Err("fault.flap_count must be >= 1 when flap_links > 0".into());
+                }
+                if fault.flap_first >= fault.cycles {
+                    return Err(format!(
+                        "fault.flap_first {} must lie inside the injection window ({} cycles)",
+                        fault.flap_first, fault.cycles
+                    ));
+                }
+            }
+            if fault.degrade_links > 0 && fault.degrade_extra_latency == 0 && !fault.degrade_half_bw
+            {
+                return Err(
+                    "fault.degrade_links > 0 needs degrade_extra_latency > 0 or \
+                     degrade_half_bw = true (a no-op degradation tests nothing)"
+                        .into(),
+                );
             }
         }
 
@@ -467,6 +579,13 @@ impl ExperimentSpec {
                     .into(),
             );
         }
+        if self.kind == Kind::Steady && self.fault.has_transients() {
+            return Err(
+                "fault.flap_links / fault.degrade_links need kind = \"fault\": steady-state \
+                 warm-up measures a healthy network"
+                    .into(),
+            );
+        }
         // validate() panics on inconsistency; run it on every resolved
         // point config so a bad override fails at load time, not mid-sweep.
         for p in self.expand() {
@@ -479,10 +598,19 @@ impl ExperimentSpec {
                 || (c.retransmit_timeout > 0
                     && c.retransmit_backoff_cap != 0
                     && c.retransmit_backoff_cap < c.retransmit_timeout)
+                || (c.llr_enabled && c.llr_window < 1)
+                || (c.error_ber > 0.0 && !c.llr_enabled)
             {
                 return Err(format!(
                     "point {}/{} load {} seed {} fails {}: inconsistent sim config {c:?}",
                     p.pattern, p.algo, p.load, p.seed, p.fails
+                ));
+            }
+            if self.fault.has_transients() && !c.llr_enabled {
+                return Err(format!(
+                    "point {}/{}: fault.flap_links/degrade_links are transient faults only \
+                     link-level retry can recover; set sim.llr_enabled = true",
+                    p.pattern, p.algo
                 ));
             }
         }
@@ -690,6 +818,18 @@ pub fn apply_sim_overrides(cfg: &mut SimConfig, t: &BTreeMap<String, Value>) -> 
             "retransmit_timeout" => cfg.retransmit_timeout = int()? as u64,
             "retransmit_max_retries" => cfg.retransmit_max_retries = int()? as u32,
             "retransmit_backoff_cap" => cfg.retransmit_backoff_cap = int()? as u64,
+            "llr_enabled" => {
+                cfg.llr_enabled = v
+                    .as_bool()
+                    .ok_or_else(|| format!("sim.{k} must be a boolean"))?
+            }
+            "error_ber" => {
+                cfg.error_ber = v
+                    .as_f64()
+                    .filter(|&b| (0.0..1.0).contains(&b))
+                    .ok_or_else(|| format!("sim.{k} must be a rate in [0, 1)"))?
+            }
+            "llr_window" => cfg.llr_window = int()? as usize,
             other => {
                 return Err(format!(
                     "unknown [sim] key {other:?} (tick_threads is an execution \
@@ -852,6 +992,62 @@ seed = [1, 2]
         // Revive before kill.
         assert!(spec(&format!(
             "{fault_base}\n[fault]\ncycles = 100\nkill_cycle = 50\nrevive_cycle = 40\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn gray_failure_knobs_parse_and_validate() {
+        let fault_base = BASE.replace("kind = \"steady\"", "kind = \"fault\"");
+        let ok = spec(&format!(
+            "{fault_base}\n[sim]\nllr_enabled = true\nerror_ber = 1e-5\nllr_window = 64\n\
+             [fault]\ncycles = 1000\nflap_links = 2\nflap_first = 100\nflap_period = 200\n\
+             flap_down_cycles = 40\nflap_count = 3\ndegrade_links = 1\n\
+             degrade_extra_latency = 2\ndegrade_half_bw = true\n"
+        ))
+        .unwrap();
+        assert!(ok.sim.llr_enabled);
+        assert_eq!(ok.sim.llr_window, 64);
+        assert_eq!(ok.fault.flap_links, 2);
+        assert_eq!(ok.fault.flap_period, 200);
+        assert!(ok.fault.has_transients());
+        assert!(ok.fault.degrade_half_bw);
+
+        // Flaps without LLR cannot recover.
+        assert!(spec(&format!(
+            "{fault_base}\n[fault]\ncycles = 1000\nflap_links = 1\nflap_first = 10\n\
+             flap_period = 100\nflap_down_cycles = 20\n"
+        ))
+        .is_err());
+        // Always-down "flap" (period <= down).
+        assert!(spec(&format!(
+            "{fault_base}\n[sim]\nllr_enabled = true\n[fault]\ncycles = 1000\nflap_links = 1\n\
+             flap_first = 10\nflap_period = 20\nflap_down_cycles = 20\n"
+        ))
+        .is_err());
+        // Zero-width flap.
+        assert!(spec(&format!(
+            "{fault_base}\n[sim]\nllr_enabled = true\n[fault]\ncycles = 1000\nflap_links = 1\n\
+             flap_first = 10\nflap_period = 20\nflap_down_cycles = 0\n"
+        ))
+        .is_err());
+        // First down edge outside the injection window.
+        assert!(spec(&format!(
+            "{fault_base}\n[sim]\nllr_enabled = true\n[fault]\ncycles = 1000\nflap_links = 1\n\
+             flap_first = 1000\nflap_period = 100\nflap_down_cycles = 20\n"
+        ))
+        .is_err());
+        // No-op degradation.
+        assert!(spec(&format!(
+            "{fault_base}\n[sim]\nllr_enabled = true\n[fault]\ncycles = 1000\ndegrade_links = 1\n"
+        ))
+        .is_err());
+        // BER without LLR (caught at point validation).
+        assert!(spec(&format!("{fault_base}\n[sim]\nerror_ber = 1e-5\n")).is_err());
+        // Transients are a fault-protocol feature.
+        assert!(spec(&format!(
+            "{BASE}\n[sim]\nllr_enabled = true\n[fault]\nflap_links = 1\nflap_first = 10\n\
+             flap_period = 100\nflap_down_cycles = 20\n"
         ))
         .is_err());
     }

@@ -82,10 +82,11 @@ mod tests {
         bs.set(0, false);
         assert!(bs.get(1));
         assert!(!bs.get(0));
-        // Neighbours across a word boundary are untouched.
+        // Neighbours across a word boundary keep their pushed values
+        // (63 was pushed true, 65 false).
         bs.set(64, true);
         assert!(bs.get(64));
-        assert!(!bs.get(63));
+        assert!(bs.get(63));
         assert!(!bs.get(65));
     }
 

@@ -83,6 +83,27 @@ pub struct SimConfig {
     /// Source retransmission: upper bound on the exponential backoff
     /// interval, in cycles. 0 means `8 x retransmit_timeout`.
     pub retransmit_backoff_cap: u64,
+    /// Link-level retry (LLR): when true every channel carries a go-back-N
+    /// retry sublayer (sequence numbers, a replay buffer of `llr_window`
+    /// flits, cumulative acks / gap nacks on a reliable sideband modeled
+    /// after the credit path). Transient losses — CRC-detected corruption
+    /// from `error_ber`, flits in flight across a link flap — are replayed
+    /// below the transport, so source retransmission only fires for hard
+    /// faults. Adds one cycle of per-hop latency (CRC serialization);
+    /// `false` (the default) is the byte-identical legacy path.
+    pub llr_enabled: bool,
+    /// Per-bit error rate applied to every flit crossing a channel
+    /// (deterministic per seed). A 512-bit flit is corrupted with
+    /// probability `~ 512 * error_ber`; corrupted flits fail CRC at the
+    /// receiver and are recovered by LLR, which must be enabled when this
+    /// is nonzero. 0.0 (the default) disables the error model.
+    pub error_ber: f64,
+    /// LLR replay-window depth in flits: unacked flits a sender may hold.
+    /// A full window back-pressures the upstream egress (the flit stays
+    /// queued, no loss). Must cover the channel round trip to avoid
+    /// throttling clean links; the default comfortably covers the 50-cycle
+    /// paper channels.
+    pub llr_window: usize,
     /// Threads used for the per-cycle compute phase (routers and terminals
     /// sharded across a persistent worker pool). Results are bit-identical
     /// for every value; 1 (the default) runs fully serial. The default can
@@ -116,6 +137,9 @@ impl Default for SimConfig {
             retransmit_timeout: 0,
             retransmit_max_retries: 16,
             retransmit_backoff_cap: 0,
+            llr_enabled: false,
+            error_ber: 0.0,
+            llr_window: 128,
             tick_threads: default_tick_threads(),
             engine: default_engine(),
         }
@@ -164,6 +188,9 @@ pub struct CanonicalSimConfig {
     pub retransmit_timeout: u64,
     pub retransmit_max_retries: u32,
     pub retransmit_backoff_cap: u64,
+    pub llr_enabled: bool,
+    pub error_ber: f64,
+    pub llr_window: usize,
 }
 
 impl SimConfig {
@@ -186,6 +213,9 @@ impl SimConfig {
             retransmit_timeout: self.retransmit_timeout,
             retransmit_max_retries: self.retransmit_max_retries,
             retransmit_backoff_cap: self.retransmit_backoff_cap,
+            llr_enabled: self.llr_enabled,
+            error_ber: self.error_ber,
+            llr_window: self.llr_window,
         }
     }
 
@@ -211,6 +241,23 @@ impl SimConfig {
                 "retransmit_backoff_cap ({}) must be 0 (auto) or >= retransmit_timeout ({})",
                 self.retransmit_backoff_cap,
                 self.retransmit_timeout
+            );
+        }
+        assert!(
+            (0.0..1.0).contains(&self.error_ber) && self.error_ber.is_finite(),
+            "error_ber ({}) must be a finite rate in [0, 1)",
+            self.error_ber
+        );
+        if self.error_ber > 0.0 {
+            assert!(
+                self.llr_enabled,
+                "error_ber > 0 corrupts flits that only LLR can recover; enable llr_enabled"
+            );
+        }
+        if self.llr_enabled {
+            assert!(
+                self.llr_window >= 1,
+                "llr_window must hold at least one flit"
             );
         }
     }
@@ -269,6 +316,30 @@ mod tests {
         // 16-flit packets do ~16x better but still under line rate.
         let big = c.atomic_throughput_ceiling(16.0);
         assert!(big > 0.5 && big <= 1.0, "{big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "enable llr_enabled")]
+    fn ber_without_llr_is_rejected() {
+        let c = SimConfig {
+            error_ber: 1e-6,
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn llr_knobs_validate_and_hash() {
+        let c = SimConfig {
+            llr_enabled: true,
+            error_ber: 1e-5,
+            ..SimConfig::default()
+        };
+        c.validate();
+        let canon = c.canonical();
+        assert!(canon.llr_enabled);
+        assert_eq!(canon.error_ber, 1e-5);
+        assert_ne!(canon, SimConfig::default().canonical());
     }
 
     #[test]

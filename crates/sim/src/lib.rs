@@ -49,7 +49,7 @@ pub use config::{CanonicalSimConfig, Engine, SimConfig};
 pub use event::{EventKind, EventQueue};
 pub use fault::{FaultAction, FaultEvent, FaultSchedule, RouterDiag, WatchdogReport};
 pub use metrics::{
-    LogHist, Metrics, MetricsConfig, MetricsSummary, NetSample, PhaseTimers, PortSample,
+    LlrSummary, LogHist, Metrics, MetricsConfig, MetricsSummary, NetSample, PhaseTimers, PortSample,
 };
 pub use network::Network;
 pub use packet::{Flit, Packet, PacketCold, PacketHot, PacketId, PacketPool};

@@ -345,6 +345,20 @@ pub struct Metrics {
     /// Latest retransmission-transport snapshot, kept fresh by
     /// [`Sim::step`](crate::Sim::step) while the transport is enabled.
     pub transport: Option<crate::transport::TransportSummary>,
+    /// Latest link-level retry counters, kept fresh by
+    /// [`Sim::step`](crate::Sim::step) while LLR is enabled.
+    pub llr: Option<LlrSummary>,
+}
+
+/// Aggregate link-level retry recovery counters for the metric stream.
+#[derive(serde::Serialize, Clone, Copy, Debug, Default)]
+pub struct LlrSummary {
+    /// Frames resent by the go-back-N sublayer.
+    pub llr_replays: u64,
+    /// Flits discarded at a receiver for CRC failure.
+    pub crc_errors: u64,
+    /// Link down-edges survived.
+    pub flaps_survived: u64,
 }
 
 impl Metrics {
@@ -391,6 +405,7 @@ impl Metrics {
             occ_hist: LogHist::default(),
             timers: PhaseTimers::default(),
             transport: None,
+            llr: None,
         }
     }
 
@@ -622,6 +637,11 @@ impl Metrics {
             kind: &'static str,
             transport: crate::transport::TransportSummary,
         }
+        #[derive(serde::Serialize)]
+        struct LlrRow {
+            kind: &'static str,
+            llr: LlrSummary,
+        }
         let mut out = String::new();
         let mut push = |row: &dyn serde::Serialize| {
             out.push_str(&crate::schema::versioned_json_row(row));
@@ -648,6 +668,14 @@ impl Metrics {
             push(&TransportRow {
                 kind: "transport",
                 transport: *t,
+            });
+        }
+        // Likewise only when link-level retry is enabled, so LLR-free
+        // streams keep their golden digests.
+        if let Some(l) = &self.llr {
+            push(&LlrRow {
+                kind: "llr",
+                llr: *l,
             });
         }
         push(&SummaryRow {

@@ -2,7 +2,7 @@
 //! [`Topology`] + [`RoutingAlgorithm`] pair and advances them cycle by
 //! cycle.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use hxcore::RoutingAlgorithm;
 use hxtopo::{ChannelKind, PortTarget, Topology};
@@ -65,8 +65,36 @@ struct EventState {
     /// This cycle's arrival-hint scratch (sorted `(router, port·2|kind)`
     /// pairs from the wheel's matured set), reused every cycle.
     hint_buf: Vec<ArrivalHint>,
+    /// Channels whose LLR sublayer delivered a flit this cycle (scratch,
+    /// reused): their consumers get same-cycle wakes and their arrival
+    /// queues a post-commit discard (LLR deliveries bypass the wheel).
+    llr_scratch: Vec<u32>,
     /// Lifetime endpoint wakes executed.
     events_processed: u64,
+}
+
+/// A raw pointer the tick pool may carry across threads. Soundness is
+/// established at each use site: every task index maps to a disjoint set
+/// of endpoints and its own sink, and [`TickPool::run`] joins every task
+/// before returning, so no aliasing or lifetime escape can occur. This
+/// replaces per-tick `Vec<Mutex<Option<Shard>>>` gathering, keeping the
+/// parallel steady-state tick allocation-free.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Raw pointer to the element at offset `i`; the caller derefs it.
+    ///
+    /// # Safety
+    /// The caller must guarantee `i` is in bounds of the originating
+    /// allocation, and must not form the `&mut` while any other live
+    /// reference aliases element `i`. (Going through a method also makes
+    /// closures capture the whole `SendPtr` — capturing the bare pointer
+    /// field would lose the `Send`/`Sync` wrapper.)
+    unsafe fn get(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
 }
 
 /// A tiny calendar wheel of `(channel, direction)` maturities. Every wire
@@ -198,6 +226,18 @@ impl Network {
         let mut channels: Vec<Channel> = Vec::new();
         let mut term_wiring: Vec<Option<(usize, usize)>> = vec![None; nt];
 
+        // With LLR enabled every channel (terminal links included) carries
+        // the retry sublayer, each with its own error-model RNG stream
+        // derived from (run seed, channel id).
+        let mk_chan = |id: usize, latency: u64| {
+            if cfg.llr_enabled {
+                let chan_seed = seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Channel::with_llr(latency, cfg.llr_window, cfg.error_ber, chan_seed)
+            } else {
+                Channel::new(latency)
+            }
+        };
+
         for r in 0..nr {
             for p in 0..topo.num_ports(r) {
                 let latency = match topo.channel_kind(r, p) {
@@ -209,16 +249,16 @@ impl Network {
                     PortTarget::Router { router, port } => {
                         // One directed channel per (source router, port).
                         let id = channels.len();
-                        channels.push(Channel::new(latency));
+                        channels.push(mk_chan(id, latency));
                         routers[r].out_chan[p] = id as u32;
                         routers[r].live_ports[p] = true;
                         routers[router].in_chan[port] = id as u32;
                     }
                     PortTarget::Terminal(t) => {
                         let eject = channels.len();
-                        channels.push(Channel::new(latency));
+                        channels.push(mk_chan(eject, latency));
                         let inject = channels.len();
-                        channels.push(Channel::new(latency));
+                        channels.push(mk_chan(inject, latency));
                         routers[r].out_chan[p] = eject as u32;
                         routers[r].in_chan[p] = inject as u32;
                         routers[r].port_term[p] = t as u32;
@@ -276,6 +316,7 @@ impl Network {
                 chan_wheel: ChanWheel::new(channels.iter().map(|c| c.latency()).max().unwrap_or(0)),
                 tick_set: Vec::new(),
                 hint_buf: Vec::new(),
+                llr_scratch: Vec::new(),
                 events_processed: 0,
             })
         });
@@ -319,9 +360,25 @@ impl Network {
         }
     }
 
-    /// Event engine: earliest pending wake time, if any.
-    pub(crate) fn next_event_time(&mut self) -> Option<u64> {
-        self.event.as_mut().and_then(|ev| ev.queue.next_time())
+    /// Event engine: earliest pending wake time, if any. With LLR enabled
+    /// this also covers the retry sublayer's own activity (wire/ctrl
+    /// maturities, pending transmissions) — `llr_tick` runs on every
+    /// executed cycle, so dead-cycle skips must never jump past a cycle
+    /// where it would act.
+    pub(crate) fn next_event_time(&mut self, now: u64) -> Option<u64> {
+        let queued = self.event.as_mut().and_then(|ev| ev.queue.next_time());
+        if !self.cfg.llr_enabled {
+            return queued;
+        }
+        let llr = self
+            .channels
+            .iter()
+            .filter_map(|c| c.llr_next_activity(now))
+            .min();
+        match (queued, llr) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Event engine: fault actions and fault fallout mutate state outside
@@ -369,6 +426,16 @@ impl Network {
         mut trace: Option<&mut Trace>,
         mut metrics: Option<&mut Metrics>,
     ) {
+        // LLR sublayer phase: runs before compute so frames landing this
+        // cycle are visible through the immutable pre-cycle view, exactly
+        // like legacy wire arrivals. Serial and in channel-id order, so
+        // the error-model RNG draws are thread-count independent.
+        if self.cfg.llr_enabled {
+            for ch in &mut self.channels {
+                ch.llr_tick(now, stats);
+            }
+        }
+
         let threads = self.cfg.tick_threads.max(1);
         let want_trace = trace.is_some();
         let want_metrics = metrics.is_some();
@@ -408,41 +475,40 @@ impl Network {
                     crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
                 }
             } else {
-                enum Shard<'a> {
-                    Routers(&'a mut [Router], &'a mut TickSink),
-                    Terminals(&'a mut [Terminal], &'a mut TickSink),
-                }
-                let tasks: Vec<Mutex<Option<Shard>>> = self
-                    .routers
-                    .chunks_mut(r_chunk)
-                    .zip(r_sinks.iter_mut())
-                    .map(|(c, s)| Mutex::new(Some(Shard::Routers(c, s))))
-                    .chain(
-                        self.terminals
-                            .chunks_mut(t_chunk)
-                            .zip(t_sinks.iter_mut())
-                            .map(|(c, s)| Mutex::new(Some(Shard::Terminals(c, s)))),
-                    )
-                    .collect();
-                let run_shard = |i: usize| {
-                    let task = tasks[i].lock().unwrap().take();
-                    match task.expect("shard claimed twice") {
-                        Shard::Routers(shard, sink) => {
-                            for r in shard {
-                                r.tick(now, topo, algo, pool_view, channels, None, sink);
-                            }
+                // Task i < n_rshards covers routers[i·r_chunk ..] and sink
+                // i; later tasks cover the matching terminal chunk. Each
+                // task index maps to a disjoint endpoint range and its own
+                // sink, and `TickPool::run` joins every task before
+                // returning, so raw-pointer hand-off is sound — and the
+                // parallel steady-state tick allocates nothing.
+                let routers_ptr = SendPtr(self.routers.as_mut_ptr());
+                let terms_ptr = SendPtr(self.terminals.as_mut_ptr());
+                let r_sinks_ptr = SendPtr(r_sinks.as_mut_ptr());
+                let t_sinks_ptr = SendPtr(t_sinks.as_mut_ptr());
+                let run_shard = move |i: usize| {
+                    if i < n_rshards {
+                        let lo = i * r_chunk;
+                        let hi = (lo + r_chunk).min(nr);
+                        let sink = unsafe { &mut *r_sinks_ptr.get(i) };
+                        for r in lo..hi {
+                            let router = unsafe { &mut *routers_ptr.get(r) };
+                            router.tick(now, topo, algo, pool_view, channels, None, sink);
                         }
-                        Shard::Terminals(shard, sink) => {
-                            let mut stamp = timed.then(std::time::Instant::now);
-                            for t in shard {
-                                t.tick(now, pool_view, channels, sink);
-                            }
-                            crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
+                    } else {
+                        let j = i - n_rshards;
+                        let lo = j * t_chunk;
+                        let hi = (lo + t_chunk).min(nt);
+                        let sink = unsafe { &mut *t_sinks_ptr.get(j) };
+                        let mut stamp = timed.then(std::time::Instant::now);
+                        for t in lo..hi {
+                            let term = unsafe { &mut *terms_ptr.get(t) };
+                            term.tick(now, pool_view, channels, sink);
                         }
+                        crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
                     }
                 };
                 let exec = self.exec.get_or_insert_with(|| TickPool::new(threads - 1));
-                exec.run(tasks.len(), &run_shard);
+                exec.run(n_shards, &run_shard);
             }
         }
 
@@ -490,6 +556,22 @@ impl Network {
         mut metrics: Option<&mut Metrics>,
     ) {
         let mut ev = self.event.take().expect("tick_event without event state");
+        // LLR sublayer phase: same serial channel-id-order pass as the
+        // cycle engine, run before the due set is popped so a frame
+        // landing this cycle wakes its consumer this cycle (the queue
+        // clamps same-cycle schedules into the pending drain). Deliveries
+        // bypass the wheel, so remember them for the post-commit discard.
+        if self.cfg.llr_enabled {
+            ev.llr_scratch.clear();
+            let ev = &mut *ev;
+            for (i, ch) in self.channels.iter_mut().enumerate() {
+                if ch.llr_tick(now, stats) {
+                    ev.queue
+                        .schedule(now, ev.flit_consumer[i], EventKind::FlitArrival);
+                    ev.llr_scratch.push(i as u32);
+                }
+            }
+        }
         let mut tick_set = std::mem::take(&mut ev.tick_set);
         ev.queue.pop_due(now, &mut tick_set);
         ev.events_processed += tick_set.len() as u64;
@@ -535,6 +617,14 @@ impl Network {
                     hints.push((consumer, key));
                 }
             });
+            // LLR deliveries are not on the wheel; hint their consuming
+            // routers the same way so the busy tick sees the arrivals.
+            for &ch in &ev.llr_scratch {
+                let ch = ch as usize;
+                if fc[ch] < nr32 {
+                    hints.push((fc[ch], fp[ch] << 1));
+                }
+            }
         }
         hints.sort_unstable();
         hints.dedup();
@@ -600,78 +690,55 @@ impl Network {
                     crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
                 }
             } else {
-                // Parallel path: gather mutable references to exactly the
-                // due endpoints (one linear walk; the tick set is sorted)
-                // so disjoint chunks can fan out across the pool. This
-                // allocates the two reference vectors each tick — the
-                // allocation-free guarantee is serial-only.
-                let mut r_refs: Vec<&mut Router> = Vec::with_capacity(r_ids.len());
-                {
-                    let mut want = r_ids.iter().map(|&e| e as usize).peekable();
-                    for (i, r) in self.routers.iter_mut().enumerate() {
-                        if want.peek() == Some(&i) {
-                            want.next();
-                            r_refs.push(r);
+                // Parallel path: shard the sorted due-id slices directly.
+                // Ids are unique, so each task index covers a disjoint set
+                // of endpoints plus its own sink, and `TickPool::run`
+                // joins every task before returning — raw-pointer
+                // hand-off is sound, and no per-tick reference vectors are
+                // gathered (the parallel steady-state tick allocates
+                // nothing, matching the serial fast path).
+                let r_chunk = r_ids.len().div_ceil(n_rshards.max(1)).max(1);
+                let t_chunk = t_ids.len().div_ceil(n_tshards.max(1)).max(1);
+                let routers_ptr = SendPtr(self.routers.as_mut_ptr());
+                let terms_ptr = SendPtr(self.terminals.as_mut_ptr());
+                let r_sinks_ptr = SendPtr(r_sinks.as_mut_ptr());
+                let t_sinks_ptr = SendPtr(t_sinks.as_mut_ptr());
+                let run_shard = move |i: usize| {
+                    if i < n_rshards {
+                        // `lo` can pass the end when the last chunks are
+                        // short (ceil division); clamp to an empty range.
+                        let lo = (i * r_chunk).min(r_ids.len());
+                        let hi = (lo + r_chunk).min(r_ids.len());
+                        let sink = unsafe { &mut *r_sinks_ptr.get(i) };
+                        for &e in &r_ids[lo..hi] {
+                            let s = hints.partition_point(|h| h.0 < e);
+                            let en = s + hints[s..].partition_point(|h| h.0 == e);
+                            let router = unsafe { &mut *routers_ptr.get(e as usize) };
+                            router.tick(
+                                now,
+                                topo,
+                                algo,
+                                pool_view,
+                                channels,
+                                Some(&hints[s..en]),
+                                sink,
+                            );
                         }
-                    }
-                }
-                let mut t_refs: Vec<&mut Terminal> = Vec::with_capacity(t_ids.len());
-                {
-                    let mut want = t_ids.iter().map(|&e| e as usize - nr).peekable();
-                    for (i, t) in self.terminals.iter_mut().enumerate() {
-                        if want.peek() == Some(&i) {
-                            want.next();
-                            t_refs.push(t);
+                    } else {
+                        let j = i - n_rshards;
+                        let lo = (j * t_chunk).min(t_ids.len());
+                        let hi = (lo + t_chunk).min(t_ids.len());
+                        let sink = unsafe { &mut *t_sinks_ptr.get(j) };
+                        let mut stamp = timed.then(std::time::Instant::now);
+                        for &e in &t_ids[lo..hi] {
+                            let term = unsafe { &mut *terms_ptr.get(e as usize - nr) };
+                            term.tick(now, pool_view, channels, sink);
                         }
-                    }
-                }
-                let r_chunk = r_refs.len().div_ceil(n_rshards.max(1)).max(1);
-                let t_chunk = t_refs.len().div_ceil(n_tshards.max(1)).max(1);
-                enum Shard<'a, 'b> {
-                    Routers(&'a mut [&'b mut Router], &'a mut TickSink),
-                    Terminals(&'a mut [&'b mut Terminal], &'a mut TickSink),
-                }
-                let tasks: Vec<Mutex<Option<Shard>>> = r_refs
-                    .chunks_mut(r_chunk)
-                    .zip(r_sinks.iter_mut())
-                    .map(|(c, s)| Mutex::new(Some(Shard::Routers(c, s))))
-                    .chain(
-                        t_refs
-                            .chunks_mut(t_chunk)
-                            .zip(t_sinks.iter_mut())
-                            .map(|(c, s)| Mutex::new(Some(Shard::Terminals(c, s)))),
-                    )
-                    .collect();
-                let run_shard = |i: usize| {
-                    let task = tasks[i].lock().unwrap().take();
-                    match task.expect("shard claimed twice") {
-                        Shard::Routers(shard, sink) => {
-                            for r in shard {
-                                let id = r.id() as u32;
-                                let s = hints.partition_point(|h| h.0 < id);
-                                let e = s + hints[s..].partition_point(|h| h.0 == id);
-                                r.tick(
-                                    now,
-                                    topo,
-                                    algo,
-                                    pool_view,
-                                    channels,
-                                    Some(&hints[s..e]),
-                                    sink,
-                                );
-                            }
-                        }
-                        Shard::Terminals(shard, sink) => {
-                            let mut stamp = timed.then(std::time::Instant::now);
-                            for t in shard {
-                                t.tick(now, pool_view, channels, sink);
-                            }
-                            crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
-                        }
+                        crate::metrics::lap(&mut stamp, &mut sink.timers.channel_ns);
                     }
                 };
                 let exec = self.exec.get_or_insert_with(|| TickPool::new(threads - 1));
-                exec.run(tasks.len(), &run_shard);
+                exec.run(n_shards, &run_shard);
             }
         }
         ev.hint_buf = hints;
@@ -681,10 +748,17 @@ impl Network {
         // consumers are in the tick set (arrival wakes guarantee it) and
         // observed them through the immutable view during compute.
         ev.chan_wheel.drain_discard(now, &mut self.channels);
+        let llr_enabled = self.cfg.llr_enabled;
         {
             // Replaying sends also plants the arrival wake for each one.
             let ev = &mut *ev;
             let mut on_send = |ch: usize, is_flit: bool| {
+                // Under LLR a committed flit only enters the sender-side
+                // replay buffer — no wire maturity yet. `llr_tick` plants
+                // the delivery wake at the cycle the frame actually lands.
+                if is_flit && llr_enabled {
+                    return;
+                }
                 let t = now + ev.chan_latency[ch];
                 ev.chan_wheel.push(t, ch, is_flit);
                 if is_flit {
@@ -708,6 +782,13 @@ impl Network {
                     &mut on_send,
                 );
             }
+        }
+
+        // LLR deliveries bypass the wheel; their consumers (all in the
+        // tick set via the same-cycle wakes above) observed them during
+        // compute, so discard them now.
+        for &ch in &ev.llr_scratch {
+            self.channels[ch as usize].discard_arrived_flits(now);
         }
 
         // Self-reschedule the ticked endpoints from their post-tick state.
@@ -861,6 +942,50 @@ impl Network {
             FaultAction::ReviveRouter { router } => {
                 for port in self.network_ports(router) {
                     self.revive_link(router, port, now, pool, stats, trace.as_deref_mut());
+                }
+            }
+            // Transient (gray) faults act on the LLR sublayer of both
+            // directions of the cable and never drop flits or touch
+            // liveness masks — in-flight frames replay from the sender's
+            // buffer, and routing steers away via the health penalty
+            // instead of a topology change.
+            FaultAction::FlapDown { router, port } => {
+                debug_assert!(self.cfg.llr_enabled, "flap faults require llr_enabled");
+                let (r2, p2) = self.peer_of(router, port);
+                for &(r, p) in &[(router, port), (r2, p2)] {
+                    let ch = self.routers[r].out_ch(p).expect("flapping an unwired port");
+                    self.channels[ch].flap_down(now, stats);
+                }
+            }
+            FaultAction::FlapUp { router, port } => {
+                let (r2, p2) = self.peer_of(router, port);
+                for &(r, p) in &[(router, port), (r2, p2)] {
+                    let ch = self.routers[r].out_ch(p).expect("flapping an unwired port");
+                    self.channels[ch].flap_up();
+                }
+            }
+            FaultAction::DegradeLink {
+                router,
+                port,
+                extra_latency,
+                half_bw,
+            } => {
+                debug_assert!(self.cfg.llr_enabled, "degrade faults require llr_enabled");
+                let (r2, p2) = self.peer_of(router, port);
+                for &(r, p) in &[(router, port), (r2, p2)] {
+                    let ch = self.routers[r]
+                        .out_ch(p)
+                        .expect("degrading an unwired port");
+                    self.channels[ch].degrade(extra_latency, half_bw);
+                }
+            }
+            FaultAction::RestoreLink { router, port } => {
+                let (r2, p2) = self.peer_of(router, port);
+                for &(r, p) in &[(router, port), (r2, p2)] {
+                    let ch = self.routers[r]
+                        .out_ch(p)
+                        .expect("restoring an unwired port");
+                    self.channels[ch].restore();
                 }
             }
         }

@@ -65,7 +65,7 @@ type CandKey = (u64, u8, u32);
 pub(crate) type ArrivalHint = (u32, u16);
 
 /// Congestion view over a router's output side (credits, claims, backlog,
-/// link liveness).
+/// link liveness, link health).
 struct OutView<'a> {
     num_vcs: usize,
     cap: usize,
@@ -73,6 +73,12 @@ struct OutView<'a> {
     owner: &'a [PacketId],
     backlog: &'a [u32],
     live: &'a [bool],
+    /// Outgoing channel per port (`NO_WIRE` sentinel), for link-health
+    /// sensing.
+    out_chan: &'a [u32],
+    /// Pre-cycle channel state (shards share it immutably).
+    channels: &'a [Channel],
+    now: u64,
 }
 
 impl RouterView for OutView<'_> {
@@ -93,6 +99,13 @@ impl RouterView for OutView<'_> {
     }
     fn port_live(&self, port: usize) -> bool {
         self.live[port]
+    }
+    fn link_health_penalty(&self, port: usize) -> u64 {
+        let ch = self.out_chan[port];
+        if ch == NO_WIRE {
+            return 0;
+        }
+        self.channels[ch as usize].health_penalty(self.now)
     }
 }
 
@@ -393,7 +406,7 @@ impl Router {
         self.ingress(now, pool, channels, hints, sink);
         lap(&mut stamp, &mut sink.timers.ingress_ns);
         let route_before = sink.timers.route_ns;
-        self.allocate(now, topo, algo, pool, sink);
+        self.allocate(now, topo, algo, pool, channels, sink);
         if sink.timed {
             lap(&mut stamp, &mut sink.timers.vc_alloc_ns);
             // `lap` measured the whole allocate phase; carve the inner
@@ -404,7 +417,7 @@ impl Router {
         self.switch_traverse(now, pool, sink);
         self.xbar_drain(now);
         lap(&mut stamp, &mut sink.timers.crossbar_ns);
-        self.link_egress(sink);
+        self.link_egress(channels, sink);
         lap(&mut stamp, &mut sink.timers.channel_ns);
     }
 
@@ -510,12 +523,14 @@ impl Router {
 
     /// Phase 2: route computation + virtual cut-through VC allocation,
     /// oldest packet first.
+    #[allow(clippy::too_many_arguments)]
     fn allocate(
         &mut self,
         now: u64,
         topo: &dyn Topology,
         algo: &dyn RoutingAlgorithm,
         pool: &PacketPool,
+        channels: &[Channel],
         sink: &mut TickSink,
     ) {
         if self.flits_buffered == 0 {
@@ -630,6 +645,9 @@ impl Router {
                 owner: &self.out_owner,
                 backlog: &self.out_backlog,
                 live: &self.live_ports,
+                out_chan: &self.out_chan,
+                channels,
+                now,
             };
             let ctx = RouteCtx {
                 router: self.id,
@@ -870,13 +888,21 @@ impl Router {
     }
 
     /// Phase 5: one flit per output port onto the wire (sent at commit).
-    fn link_egress(&mut self, sink: &mut TickSink) {
+    /// A port whose LLR replay window is full holds its flit — the queue
+    /// keeps the router awake ([`Self::next_wake`]) and the window reopens
+    /// as acks arrive, so the backpressure is transient.
+    fn link_egress(&mut self, channels: &[Channel], sink: &mut TickSink) {
         for port in 0..self.num_ports {
-            if let Some((flit, vc)) = self.out_q[port].pop_front() {
-                self.out_backlog[port] -= 1;
-                let ch = self.out_ch(port).expect("queued flit on unwired port");
-                sink.flits.push((ch, flit, vc));
+            if self.out_q[port].is_empty() {
+                continue;
             }
+            let ch = self.out_ch(port).expect("queued flit on unwired port");
+            if !channels[ch].ready_for_flit() {
+                continue;
+            }
+            let (flit, vc) = self.out_q[port].pop_front().expect("checked non-empty");
+            self.out_backlog[port] -= 1;
+            sink.flits.push((ch, flit, vc));
         }
     }
 

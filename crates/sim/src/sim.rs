@@ -81,9 +81,15 @@ impl Sim {
     }
 
     /// Attaches a fault schedule; its actions fire as the simulation
-    /// reaches their cycles. Replaces any previous schedule.
+    /// reaches their cycles. Replaces any previous schedule. Transient
+    /// (gray) faults — flaps, degrades — act on the LLR sublayer, so they
+    /// require `SimConfig::llr_enabled`.
     pub fn set_fault_schedule(&mut self, mut schedule: FaultSchedule) {
         schedule.finalize();
+        assert!(
+            !schedule.has_transient() || self.net.cfg.llr_enabled,
+            "transient faults (flaps/degrades) require llr_enabled"
+        );
         self.fault_schedule = Some(schedule);
     }
 
@@ -200,7 +206,10 @@ impl Sim {
         if let Some(mut schedule) = self.fault_schedule.take() {
             while let Some(action) = schedule.pop_due(now) {
                 self.fault_mode = true;
-                fault_acted = true;
+                // Transient actions mutate only LLR sublayer state, which
+                // `llr_tick` advances on every executed cycle before the
+                // due set is popped — no conservative wake rebuild needed.
+                fault_acted |= !action.is_transient();
                 self.net.apply_fault(
                     action,
                     now,
@@ -285,6 +294,13 @@ impl Sim {
             }
             if let Some(t) = self.transport.as_ref() {
                 m.transport = Some(t.stats.summary());
+            }
+            if self.net.cfg.llr_enabled {
+                m.llr = Some(crate::metrics::LlrSummary {
+                    llr_replays: self.stats.llr_replays,
+                    crc_errors: self.stats.crc_errors,
+                    flaps_survived: self.stats.flaps,
+                });
             }
         }
 
@@ -392,7 +408,7 @@ impl Sim {
         if let Some(t) = &self.transport {
             target = target.min(t.next_due());
         }
-        if let Some(t) = self.net.next_event_time() {
+        if let Some(t) = self.net.next_event_time(now) {
             target = target.min(t);
         }
         if let Some(m) = &self.metrics {

@@ -47,9 +47,17 @@ pub struct Stats {
     /// Lifetime fault-schedule actions applied (kills + revivals).
     pub fault_events: u64,
     /// Lifetime count of flit movements anywhere in the network (ingress
-    /// accepts, switch traversals, injections, ejections). The watchdog
-    /// compares successive values to detect a wedged network.
+    /// accepts, switch traversals, injections, ejections, and LLR wire
+    /// transmissions). The watchdog compares successive values to detect a
+    /// wedged network — replay storms count as progress.
     pub flit_moves: u64,
+    /// Lifetime LLR frame retransmissions (a frame put on the wire again
+    /// after its first transmission).
+    pub llr_replays: u64,
+    /// Lifetime CRC-detected corrupted frames discarded at LLR receivers.
+    pub crc_errors: u64,
+    /// Lifetime link flap down-edges applied.
+    pub flaps: u64,
 }
 
 impl Stats {
@@ -163,6 +171,9 @@ impl Stats {
         self.dropped_packets += d.dropped_packets;
         self.fault_events += d.fault_events;
         self.flit_moves += d.flit_moves;
+        self.llr_replays += d.llr_replays;
+        self.crc_errors += d.crc_errors;
+        self.flaps += d.flaps;
     }
 }
 

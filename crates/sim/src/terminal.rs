@@ -163,22 +163,27 @@ impl Terminal {
                 }
             }
         }
-        if let Some((pkt_id, idx, vc)) = self.cur {
-            let len = pool.hot(pkt_id).len;
-            let flit = Flit {
-                pkt: pkt_id,
-                idx,
-                len,
-            };
-            sink.pool_ops.push(PoolOp::Created(pkt_id));
-            sink.flits.push((self.out_chan, flit, vc));
-            sink.stats.record_injection();
-            sink.stats.flit_moves += 1;
-            if flit.is_tail() {
-                self.cur = None;
-                sink.pool_ops.push(PoolOp::Gone(pkt_id)); // drop the injection pin
-            } else {
-                self.cur = Some((pkt_id, idx + 1, vc));
+        // A full LLR replay window on the injection link holds the flit
+        // for a cycle; `is_active` keeps the terminal awake until the
+        // window reopens.
+        if channels[self.out_chan].ready_for_flit() {
+            if let Some((pkt_id, idx, vc)) = self.cur {
+                let len = pool.hot(pkt_id).len;
+                let flit = Flit {
+                    pkt: pkt_id,
+                    idx,
+                    len,
+                };
+                sink.pool_ops.push(PoolOp::Created(pkt_id));
+                sink.flits.push((self.out_chan, flit, vc));
+                sink.stats.record_injection();
+                sink.stats.flit_moves += 1;
+                if flit.is_tail() {
+                    self.cur = None;
+                    sink.pool_ops.push(PoolOp::Gone(pkt_id)); // drop the injection pin
+                } else {
+                    self.cur = Some((pkt_id, idx + 1, vc));
+                }
             }
         }
     }

@@ -53,11 +53,12 @@ impl Workload for RotatingTraffic {
     }
 }
 
-#[test]
-fn steady_state_tick_is_allocation_free() {
+/// One warmed steady-state phase at the given thread count; returns the
+/// allocation delta over the measured window.
+fn measure_phase(tick_threads: usize) -> u64 {
     let hx = Arc::new(HyperX::uniform(2, 3, 2));
     let cfg = SimConfig {
-        tick_threads: 1,
+        tick_threads,
         engine: Engine::Event,
         ..SimConfig::default()
     };
@@ -82,10 +83,6 @@ fn steady_state_tick_is_allocation_free() {
     let before = ALLOC.allocations();
     sim.run(&mut traffic, 2_000);
     let delta = ALLOC.allocations() - before;
-    assert_eq!(
-        delta, 0,
-        "steady-state ticking allocated {delta} times over 2000 cycles"
-    );
 
     // The run must have been doing real work, not idling.
     assert!(
@@ -98,4 +95,25 @@ fn steady_state_tick_is_allocation_free() {
     // the measured window wasn't wedged).
     sim.run(&mut IdleWorkload, 4_000);
     assert!(sim.net.is_drained(), "network failed to drain");
+    delta
+}
+
+#[test]
+fn steady_state_tick_is_allocation_free() {
+    let serial = measure_phase(1);
+    assert_eq!(
+        serial, 0,
+        "serial steady-state ticking allocated {serial} times over 2000 cycles"
+    );
+
+    // The parallel tick must be just as clean: shards write through
+    // pre-sized per-shard sinks addressed by raw pointer, so no per-tick
+    // reference vectors, boxed closures, or scratch buffers may remain.
+    // The measured window starts after the pool threads exist and every
+    // shard-local capacity has peaked.
+    let parallel = measure_phase(4);
+    assert_eq!(
+        parallel, 0,
+        "parallel steady-state ticking allocated {parallel} times over 2000 cycles"
+    );
 }

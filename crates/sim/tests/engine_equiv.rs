@@ -146,6 +146,9 @@ enum Scenario {
     FaultFree,
     Faults,
     Retransmit,
+    /// LLR + bit-error corruption + link flaps + a degraded link: the
+    /// gray-failure layer recovers everything below the transport.
+    ErrorModel,
 }
 
 impl Scenario {
@@ -154,13 +157,16 @@ impl Scenario {
             Scenario::FaultFree => "fault-free",
             Scenario::Faults => "faults",
             Scenario::Retransmit => "retransmit",
+            Scenario::ErrorModel => "error-model",
         }
     }
 }
 
-/// Everything the two engines must agree on, byte for byte.
+/// Everything the two engines must agree on, byte for byte. The last
+/// three stats are the LLR recovery counters (replays, CRC errors,
+/// flaps) — zero outside the error-model scenario.
 struct RunOutcome {
-    stats: (u64, u64, u64, u64, u64, u64, u64, u64, u64),
+    stats: (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64),
     metrics_jsonl: String,
     delivered: Vec<DeliveredRow>,
 }
@@ -190,6 +196,13 @@ fn run_once(
         cfg.retransmit_timeout = 250;
         cfg.retransmit_max_retries = 3;
     }
+    if matches!(scenario, Scenario::ErrorModel) {
+        cfg.llr_enabled = true;
+        // ~5% per-flit corruption probability: enough CRC errors and
+        // replays inside 600 cycles to make every matrix cell non-vacuous.
+        cfg.error_ber = 1e-4;
+        cfg.llr_window = 64;
+    }
     let mut sim = Sim::new(hx.clone(), algo, cfg, 17);
     sim.enable_metrics(MetricsConfig {
         sample_interval: 200,
@@ -216,6 +229,22 @@ fn run_once(
                 .kill_router_at(120, 4)
                 .revive_router_at(300, 4),
         ),
+        // Two flapping links plus one degraded link on top of the BER:
+        // all transient, all recovered by LLR replay.
+        Scenario::ErrorModel => {
+            let port = |r: usize| {
+                (0..hx.num_ports(r))
+                    .find(|&p| matches!(hx.port_target(r, p), hxtopo::PortTarget::Router { .. }))
+                    .expect("router has a network port")
+            };
+            sim.set_fault_schedule(
+                FaultSchedule::new()
+                    .flap_link(1, port(1), 120, 150, 30, 2)
+                    .flap_link(4, port(4), 200, 120, 20, 2)
+                    .degrade_link_at(90, 2, port(2), 3, true)
+                    .restore_link_at(480, 2, port(2)),
+            );
+        }
     }
     let mut wl = RecordingTraffic::new(hx, pattern, load, 0xE11A_5EED ^ load.to_bits());
     sim.run(&mut wl, CYCLES);
@@ -231,6 +260,9 @@ fn run_once(
             s.hops_sum,
             s.dropped_flits,
             s.flit_moves,
+            s.llr_replays,
+            s.crc_errors,
+            s.flaps,
         ),
         metrics_jsonl: sim
             .metrics()
@@ -250,6 +282,15 @@ fn check_matrix(scenario: Scenario) {
                     reference.stats.2 > 0,
                     "{cell}: reference run delivered nothing — matrix cell is vacuous"
                 );
+                if matches!(scenario, Scenario::ErrorModel) {
+                    let (replays, crc, flaps) =
+                        (reference.stats.9, reference.stats.10, reference.stats.11);
+                    assert!(
+                        replays > 0 && crc > 0 && flaps > 0,
+                        "{cell}: error model idle (replays={replays} crc={crc} \
+                         flaps={flaps}) — matrix cell is vacuous"
+                    );
+                }
                 for (engine, threads, label) in [
                     (Engine::Event, 1, "event@1"),
                     (Engine::Event, 4, "event@4"),
@@ -292,4 +333,13 @@ fn engines_equivalent_under_faults() {
 #[test]
 fn engines_equivalent_with_retransmission() {
     check_matrix(Scenario::Retransmit);
+}
+
+/// Same matrix with the gray-failure layer live: link-level retry, a
+/// corrupting bit-error rate, two flap schedules, and a degraded link.
+/// Every replay, CRC discard, and flap must land identically across
+/// engines and thread counts.
+#[test]
+fn engines_equivalent_with_error_model() {
+    check_matrix(Scenario::ErrorModel);
 }

@@ -26,7 +26,12 @@
 //!     [--router-fails 0,1] [--retransmit 0,400] [--kill 1000] \
 //!     [--revive 5000] [--reps 3] [--load 0.2] [--cycles 10000] [--full] \
 //!     [--seed 1] [--json out.jsonl] [--threads N] [--no-cache]
+//!     [--submit HOST:PORT]
 //! ```
+//!
+//! `--submit HOST:PORT` ships the assembled spec to a running `hx serve`
+//! daemon instead of sweeping locally; rows stream back byte-identical
+//! (incompatible with `--metrics`, which needs local execution).
 //!
 //! `--threads N` shards every simulation's per-cycle compute across N
 //! worker threads (bit-identical results for any N; also settable via
@@ -38,9 +43,10 @@
 use std::path::Path;
 
 use hxbench::{
-    render_metrics_table, render_table, write_jsonl, Args, CommonArgs, MetricsArgs, MetricsRow,
+    render_metrics_table, render_table, sweep_or_submit, write_jsonl, Args, CommonArgs,
+    MetricsArgs, MetricsRow,
 };
-use hxharness::{parse_json, run_sweep, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts};
+use hxharness::{parse_json, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts};
 use hxsim::{SimConfig, SteadyOpts};
 
 const DEFAULT_ALGOS: &[&str] = &["DOR", "DimWAR", "OmniWAR", "FT-WAR"];
@@ -169,7 +175,10 @@ fn main() {
     }
 
     let metrics_args = MetricsArgs::parse(&args);
-    let store = if args.flag("no-cache") {
+    let submit = args.get("submit");
+    // With --submit the daemon owns the (possibly remote) store; opening
+    // a local one would be misleading.
+    let store = if args.flag("no-cache") || submit.is_some() {
         None
     } else {
         match Store::open(Path::new(hxharness::DEFAULT_STORE_DIR)) {
@@ -186,11 +195,12 @@ fn main() {
         progress: true,
         ..SweepOpts::default()
     };
-    let report = match run_sweep(
+    let report = match sweep_or_submit(
         &spec,
         store.as_ref(),
         common.json.as_deref().map(Path::new),
         &opts,
+        submit,
     ) {
         Ok(r) => r,
         Err(e) => {

@@ -14,8 +14,12 @@
 //! cargo run --release -p hxbench --bin fig6_synthetic -- \
 //!     [--pattern UR|BC|URBx|URBy|S2|DCR|all] [--algos DOR,VAL,...] \
 //!     [--step 0.1] [--max-load 1.0] [--full] [--seed 1] [--seeds N] \
-//!     [--json out.jsonl] [--threads N] [--no-cache]
+//!     [--json out.jsonl] [--threads N] [--no-cache] [--submit HOST:PORT]
 //! ```
+//!
+//! `--submit HOST:PORT` ships the assembled spec to a running `hx serve`
+//! daemon instead of sweeping locally; rows stream back byte-identical
+//! (incompatible with `--metrics`, which needs local execution).
 //!
 //! `--threads N` shards every simulation's per-cycle compute across N
 //! worker threads (deterministic: results are bit-identical for any N;
@@ -39,10 +43,10 @@
 use std::path::Path;
 
 use hxbench::{
-    evaluation_config, render_metrics_table, render_table, write_jsonl, Args, CommonArgs,
-    MetricsArgs, MetricsRow,
+    evaluation_config, render_metrics_table, render_table, sweep_or_submit, write_jsonl, Args,
+    CommonArgs, MetricsArgs, MetricsRow,
 };
-use hxharness::{parse_json, run_sweep, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts};
+use hxharness::{parse_json, ExperimentSpec, Kind, NetworkSpec, Store, SweepOpts};
 use hxsim::{SimConfig, SteadyOpts};
 use hxtraffic::FIG6_PATTERNS;
 
@@ -141,7 +145,10 @@ fn main() {
     }
 
     let metrics_args = MetricsArgs::parse(&args);
-    let store = if args.flag("no-cache") {
+    let submit = args.get("submit");
+    // With --submit the daemon owns the (possibly remote) store; opening
+    // a local one would be misleading.
+    let store = if args.flag("no-cache") || submit.is_some() {
         None
     } else {
         match Store::open(Path::new(hxharness::DEFAULT_STORE_DIR)) {
@@ -158,11 +165,12 @@ fn main() {
         progress: true,
         ..SweepOpts::default()
     };
-    let report = match run_sweep(
+    let report = match sweep_or_submit(
         &spec,
         store.as_ref(),
         common.json.as_deref().map(Path::new),
         &opts,
+        submit,
     ) {
         Ok(r) => r,
         Err(e) => {

@@ -25,9 +25,11 @@
 //! driven from the declarative specs in `experiments/`.
 
 use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use hxharness::{run_sweep, submit_text, ExperimentSpec, Store, SweepOpts, SweepReport};
 use hxsim::SimConfig;
 use hxtopo::HyperX;
 use parking_lot::Mutex;
@@ -35,6 +37,56 @@ use parking_lot::Mutex;
 pub mod args;
 
 pub use args::{Args, CommonArgs, MetricsArgs};
+
+/// Runs a spec locally ([`run_sweep`]) or, with `--submit HOST:PORT`,
+/// ships it to an `hx serve` daemon and streams the rows back. Either
+/// way the caller sees the same [`SweepReport`] with byte-identical rows
+/// — the daemon owns the shared store and the in-order commit frontier,
+/// so a submitted sweep is just a sweep that ran elsewhere.
+pub fn sweep_or_submit(
+    spec: &ExperimentSpec,
+    store: Option<&Store>,
+    out: Option<&Path>,
+    opts: &SweepOpts,
+    submit_addr: Option<&str>,
+) -> Result<SweepReport, String> {
+    let Some(addr) = submit_addr else {
+        return run_sweep(spec, store, out, opts);
+    };
+    if opts.metrics.is_some() {
+        return Err(
+            "--submit cannot collect --metrics: the cycle-level metrics stream \
+             stays on the worker that executed the point; run locally instead"
+                .to_string(),
+        );
+    }
+    let report = submit_text(
+        addr,
+        &spec.to_json(),
+        "json",
+        opts.force,
+        out,
+        opts.progress,
+    )?;
+    // Failed points are visible in the rows themselves (`kind = "failed"`),
+    // exactly as in a local sweep's merged output.
+    let failed: Vec<(usize, String)> = report
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.contains("\"kind\":\"failed\""))
+        .map(|(i, r)| (i, r.clone()))
+        .collect();
+    Ok(SweepReport {
+        total: report.total as usize,
+        cached: report.cached as usize,
+        executed: report.executed as usize,
+        rows: report.rows,
+        metrics: Vec::new(),
+        complete: true,
+        failed,
+    })
+}
 
 /// The evaluated HyperX network: the paper's 8x8x8 with 8 terminals per
 /// router (4,096 nodes) at full scale, a 4x4x4 with 4 terminals per router

@@ -4,9 +4,15 @@
 //! hx sweep SPEC [--resume] [--force] [--workers N] [--threads N]
 //!               [--budget N] [--out PATH] [--store DIR] [--no-cache]
 //!               [--expect-cached] [--quiet]
-//! hx expand SPEC [--store DIR]
+//! hx expand SPEC [--store DIR] [--digests]
 //! hx status [SPEC ...] [--store DIR]
 //! hx gc (--all | SPEC ...) [--dry-run] [--store DIR]
+//! hx serve [--addr HOST:PORT] [--store DIR] [--lease-ms N]
+//!          [--port-file PATH] [--quiet]
+//! hx work --addr HOST:PORT [--threads N] [--max-points N]
+//!         [--stall-after N] [--slow-ms N] [--quiet]
+//! hx submit SPEC --addr HOST:PORT [--out PATH] [--force]
+//!           [--expect-cached] [--quiet]
 //! ```
 //!
 //! * `sweep` runs every point of a spec. Points whose digest already sits
@@ -17,25 +23,35 @@
 //!   `results/<name>.jsonl` (or `--out`) in deterministic spec order.
 //!   `--expect-cached` exits non-zero if any point had to execute — CI
 //!   uses it to pin the cache-hit path.
-//! * `expand` lists the point table with digests and cache state.
+//! * `expand` lists the point table with digests and cache state;
+//!   `--digests` prints the bare digest list (one per line) so scripts
+//!   can pre-check cache state without contacting a daemon.
 //! * `status` summarizes the store, and per spec reports cached/missing.
 //! * `gc` prunes entries not reachable from the given specs.
+//! * `serve` / `work` / `submit` are the distributed mode: one daemon
+//!   owns the sweep state and the store, workers execute points under
+//!   leases, clients stream back the same byte-identical merged JSONL a
+//!   local `hx sweep` would produce (see DESIGN.md "Distributed sweeps").
 
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hxharness::{
-    digest_hex, point_digest, run_sweep, spec_digests, ExperimentSpec, Store, SweepOpts,
-    DEFAULT_STORE_DIR,
+    digest_hex, point_digest, run_sweep, serve, spec_digests, submit_text, work, ExperimentSpec,
+    ServeOpts, Store, SweepOpts, WorkOpts, DEFAULT_STORE_DIR,
 };
 
 const USAGE: &str = "usage:
   hx sweep SPEC [--resume] [--force] [--workers N] [--threads N] [--budget N]
                 [--out PATH] [--store DIR] [--no-cache] [--expect-cached] [--quiet]
-  hx expand SPEC [--store DIR]
+  hx expand SPEC [--store DIR] [--digests]
   hx status [SPEC ...] [--store DIR]
-  hx gc (--all | SPEC ...) [--dry-run] [--store DIR]";
+  hx gc (--all | SPEC ...) [--dry-run] [--store DIR]
+  hx serve [--addr HOST:PORT] [--store DIR] [--lease-ms N] [--port-file PATH] [--quiet]
+  hx work --addr HOST:PORT [--threads N] [--max-points N] [--stall-after N]
+          [--slow-ms N] [--quiet]
+  hx submit SPEC --addr HOST:PORT [--out PATH] [--force] [--expect-cached] [--quiet]";
 
 /// Hand-rolled argv walker: `hx` has subcommands and positional spec
 /// paths, and its boolean flags must not swallow a following path the way
@@ -46,7 +62,19 @@ struct Cli {
     flags: Vec<String>,
 }
 
-const VALUE_FLAGS: &[&str] = &["workers", "threads", "budget", "out", "store"];
+const VALUE_FLAGS: &[&str] = &[
+    "workers",
+    "threads",
+    "budget",
+    "out",
+    "store",
+    "addr",
+    "lease-ms",
+    "port-file",
+    "max-points",
+    "stall-after",
+    "slow-ms",
+];
 const BOOL_FLAGS: &[&str] = &[
     "resume",
     "force",
@@ -55,6 +83,7 @@ const BOOL_FLAGS: &[&str] = &[
     "quiet",
     "dry-run",
     "all",
+    "digests",
     "help",
 ];
 
@@ -138,6 +167,9 @@ fn run() -> Result<ExitCode, String> {
         "expand" => cmd_expand(&cli),
         "status" => cmd_status(&cli),
         "gc" => cmd_gc(&cli),
+        "serve" => cmd_serve(&cli),
+        "work" => cmd_work(&cli),
+        "submit" => cmd_submit(&cli),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
@@ -205,6 +237,15 @@ fn cmd_sweep(cli: &Cli) -> Result<ExitCode, String> {
 
 fn cmd_expand(cli: &Cli) -> Result<ExitCode, String> {
     let spec = one_spec(cli)?;
+    if cli.flag("digests") {
+        // Bare digest list, one per line in spec order: lets a script
+        // intersect a spec with `ls results/store/` (or another node's
+        // listing) without opening the store or contacting a daemon.
+        for p in spec.expand() {
+            println!("{}", digest_hex(point_digest(&p)));
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
     let store = Store::open(&cli.store()).map_err(|e| format!("open store: {e}"))?;
     println!(
         "{} ({}): {} on HyperX dims={} width={} terminals={}",
@@ -272,6 +313,13 @@ fn cmd_status(cli: &Cli) -> Result<ExitCode, String> {
             hxsim::SCHEMA_VERSION
         );
     }
+    let (corrupt, tmp) = store.debris().map_err(|e| format!("scan store: {e}"))?;
+    if corrupt > 0 {
+        println!("  {corrupt} quarantined corrupt entries (`hx gc` removes them)");
+    }
+    if tmp > 0 {
+        println!("  {tmp} orphaned temp files from killed writers (`hx gc` removes them)");
+    }
     let mut by_exp: Vec<(String, usize)> = Vec::new();
     for e in &entries {
         let name = if e.experiment.is_empty() {
@@ -324,6 +372,102 @@ fn cmd_gc(cli: &Cli) -> Result<ExitCode, String> {
         if dry { "would remove" } else { "removed" },
         removed_bytes / 1024
     );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(cli: &Cli) -> Result<ExitCode, String> {
+    if !cli.positional.is_empty() {
+        return Err(format!("serve takes no positional arguments\n{USAGE}"));
+    }
+    let opts = ServeOpts {
+        addr: cli.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        store_dir: cli.store(),
+        lease_ms: cli.get_parsed("lease-ms", 10_000u64)?,
+        port_file: cli.get("port-file").map(PathBuf::from),
+        quiet: cli.flag("quiet"),
+    };
+    serve(&opts)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_work(cli: &Cli) -> Result<ExitCode, String> {
+    if !cli.positional.is_empty() {
+        return Err(format!("work takes no positional arguments\n{USAGE}"));
+    }
+    let addr = cli
+        .get("addr")
+        .ok_or(format!("work needs --addr HOST:PORT\n{USAGE}"))?
+        .to_string();
+    let max_points = cli.get_parsed("max-points", 0usize)?;
+    let stall_after = cli
+        .get("stall-after")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("invalid --stall-after: {e}"))?;
+    let opts = WorkOpts {
+        addr,
+        tick_threads: cli.get_parsed("threads", 0usize)?,
+        max_points: (max_points > 0).then_some(max_points),
+        stall_after,
+        slow_ms: cli.get_parsed("slow-ms", 0u64)?,
+        quiet: cli.flag("quiet"),
+    };
+    work(&opts)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(cli: &Cli) -> Result<ExitCode, String> {
+    let [path] = cli.positional.as_slice() else {
+        return Err(format!("expected exactly one SPEC path\n{USAGE}"));
+    };
+    let addr = cli
+        .get("addr")
+        .ok_or(format!("submit needs --addr HOST:PORT\n{USAGE}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let format = if path.ends_with(".json") {
+        "json"
+    } else {
+        "toml"
+    };
+    // Parse locally first for a fast, well-located error message (the
+    // daemon re-validates regardless) and to learn the output name.
+    let spec = ExperimentSpec::parse(&text, format).map_err(|e| format!("{path}: {e}"))?;
+    let out = cli
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("results/{}.jsonl", spec.name)));
+    let report = submit_text(
+        addr,
+        &text,
+        format,
+        cli.flag("force"),
+        Some(&out),
+        !cli.flag("quiet"),
+    )?;
+    println!(
+        "submit {}: {} points, {} cached, {} executed -> {}",
+        spec.name,
+        report.total,
+        report.cached,
+        report.executed,
+        out.display()
+    );
+    if cli.flag("expect-cached") && report.cached < report.total {
+        eprintln!(
+            "--expect-cached: {} point(s) were not served from the store",
+            report.total - report.cached
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if report.failed > 0 {
+        eprintln!(
+            "submit {}: {} point(s) FAILED (kind=\"failed\" rows in {})",
+            spec.name,
+            report.failed,
+            out.display()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -88,7 +88,7 @@ struct FailedRow {
     error: String,
 }
 
-fn failed_row(point: &Point, digest: u64, error: &str) -> String {
+pub(crate) fn failed_row(point: &Point, digest: u64, error: &str) -> String {
     hxsim::versioned_json_row(&FailedRow {
         kind: "failed",
         digest: digest_hex(digest),
@@ -103,7 +103,7 @@ fn failed_row(point: &Point, digest: u64, error: &str) -> String {
     })
 }
 
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {

@@ -1,0 +1,643 @@
+//! `hx serve` — the distributed-sweep daemon.
+//!
+//! One process owns the sweep state: clients submit specs
+//! ([`crate::proto::Frame::Submit`]), the daemon expands and digests them
+//! with the exact machinery `hx sweep` uses, answers what it can from the
+//! shared content-addressed store, and leases the remaining points to
+//! `hx work` processes. Completed rows commit through the same in-order
+//! frontier as `sched.rs`, so the JSONL a client receives is always a
+//! byte-identical prefix of the single-node result — regardless of worker
+//! count, completion order, or mid-sweep worker deaths.
+//!
+//! ## Lease state machine
+//!
+//! A point is in exactly one of three states:
+//!
+//! * **pending** — queued, unassigned;
+//! * **leased** — assigned to a worker under a lease with a deadline;
+//!   every frame from that worker (heartbeats included) renews all of its
+//!   leases;
+//! * **filled** — its output slot holds a row (from cache, a worker, or a
+//!   `kind = "failed"` degradation).
+//!
+//! Two paths move a leased point *back* to pending: the worker's
+//! connection drops (SIGKILL, network cut — detected immediately as EOF),
+//! or the lease deadline passes with no traffic (a wedged-but-connected
+//! worker, caught by the sweeper thread). A result arriving under a stale
+//! lease — the point was reassigned and has since been filled — is
+//! dropped: the sim is deterministic, so the duplicate row is
+//! byte-identical and discarding it cannot lose information. The filled
+//! slot is never overwritten, which is what keeps the output free of
+//! duplicates and reorders.
+//!
+//! ## Cache semantics
+//!
+//! The daemon is the only store writer in a distributed sweep (workers
+//! may not even share a filesystem with it). Rows are cached under the
+//! same canonical digests as single-node runs, so `hx sweep` and
+//! `hx submit` populate and hit one cache interchangeably; failed rows
+//! are never cached, exactly as in `sched.rs`.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::digest::{digest_hex, point_digest};
+use crate::proto::{check_hello, read_frame, write_frame, Frame, ROLE_CLIENT, ROLE_WORKER};
+use crate::sched::failed_row;
+use crate::spec::{ExperimentSpec, Point};
+use crate::store::{Store, StoreMeta};
+
+/// Options for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Bind address, e.g. `127.0.0.1:7app` or `127.0.0.1:0` (ephemeral).
+    pub addr: String,
+    /// Shared store directory.
+    pub store_dir: std::path::PathBuf,
+    /// Lease duration. A worker silent for this long forfeits its points.
+    pub lease_ms: u64,
+    /// Write the bound address (host:port) here once listening — how
+    /// tests and scripts discover an ephemeral port.
+    pub port_file: Option<std::path::PathBuf>,
+    /// Suppress per-event logging.
+    pub quiet: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: std::path::PathBuf::from(crate::store::DEFAULT_STORE_DIR),
+            lease_ms: 10_000,
+            port_file: None,
+            quiet: false,
+        }
+    }
+}
+
+/// One submitted sweep.
+struct Job {
+    /// Spec source text, forwarded verbatim to workers (they re-expand it
+    /// deterministically; only indices travel per point).
+    spec_text: String,
+    format: String,
+    name: String,
+    points: Vec<Point>,
+    digests: Vec<u64>,
+    /// In-order commit state: `slots[i]` is the row for point `i`.
+    slots: Vec<Option<String>>,
+    frontier: usize,
+    cached: u64,
+    executed: u64,
+    failed: u64,
+    /// Frames queued to the submitting client's writer loop.
+    client: mpsc::Sender<Frame>,
+}
+
+/// An outstanding assignment.
+struct Lease {
+    job: u64,
+    index: usize,
+    worker: u64,
+    deadline: Instant,
+}
+
+#[derive(Default)]
+struct State {
+    jobs: HashMap<u64, Job>,
+    /// Unassigned (job, point index) pairs, oldest job first.
+    pending: VecDeque<(u64, usize)>,
+    leases: HashMap<u64, Lease>,
+}
+
+struct Daemon {
+    state: Mutex<State>,
+    store: Store,
+    lease_ms: u64,
+    next_job: AtomicU64,
+    next_worker: AtomicU64,
+    next_lease: AtomicU64,
+    quiet: bool,
+}
+
+impl Daemon {
+    fn log(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            eprintln!("serve: {msg}");
+        }
+    }
+
+    /// Advances `job`'s commit frontier, streaming newly contiguous rows
+    /// to its client. Returns `true` (and retires the job) when complete.
+    /// Caller holds the state lock.
+    fn drain_job(&self, state: &mut State, job_id: u64) -> bool {
+        let Some(job) = state.jobs.get_mut(&job_id) else {
+            return false;
+        };
+        while job.frontier < job.slots.len() && job.slots[job.frontier].is_some() {
+            let row = job.slots[job.frontier].clone().expect("checked");
+            let _ = job.client.send(Frame::Row {
+                job: job_id,
+                index: job.frontier as u64,
+                row,
+            });
+            job.frontier += 1;
+        }
+        if job.frontier < job.slots.len() {
+            return false;
+        }
+        let _ = job.client.send(Frame::Done {
+            job: job_id,
+            total: job.slots.len() as u64,
+            cached: job.cached,
+            executed: job.executed,
+            failed: job.failed,
+        });
+        self.log(format_args!(
+            "job {job_id} ({}) done: {} points, {} cached, {} executed, {} failed",
+            job.name,
+            job.slots.len(),
+            job.cached,
+            job.executed,
+            job.failed
+        ));
+        state.jobs.remove(&job_id);
+        true
+    }
+
+    /// Returns a leased point to the pending queue (front: reclaimed work
+    /// should restart before new work so the frontier unblocks fastest).
+    fn requeue(&self, state: &mut State, lease_id: u64, why: &str) {
+        let Some(lease) = state.leases.remove(&lease_id) else {
+            return;
+        };
+        // Only requeue if the slot is still empty — a racing late result
+        // may have filled it.
+        let live = state
+            .jobs
+            .get(&lease.job)
+            .is_some_and(|j| j.slots[lease.index].is_none());
+        if live {
+            self.log(format_args!(
+                "reclaiming job {} point {} from worker {} ({why})",
+                lease.job, lease.index, lease.worker
+            ));
+            state.pending.push_front((lease.job, lease.index));
+        }
+    }
+
+    /// Drops every lease held by `worker` back into the pending queue.
+    fn requeue_worker(&self, state: &mut State, worker: u64, why: &str) {
+        let held: Vec<u64> = state
+            .leases
+            .iter()
+            .filter(|(_, l)| l.worker == worker)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in held {
+            self.requeue(state, id, why);
+        }
+    }
+
+    /// Accepts a worker's result if its lease is still the live one;
+    /// stale results (lease reclaimed, slot already filled) are dropped.
+    fn finish(
+        &self,
+        state: &mut State,
+        lease_id: u64,
+        job_id: u64,
+        index: usize,
+        outcome: Result<(String, u64), String>,
+    ) {
+        let valid = state
+            .leases
+            .get(&lease_id)
+            .is_some_and(|l| l.job == job_id && l.index == index);
+        if !valid {
+            self.log(format_args!(
+                "dropping stale result for job {job_id} point {index} (lease {lease_id} expired)"
+            ));
+            return;
+        }
+        state.leases.remove(&lease_id);
+        let Some(job) = state.jobs.get_mut(&job_id) else {
+            return;
+        };
+        if job.slots[index].is_some() {
+            return;
+        }
+        match outcome {
+            Ok((row, elapsed_ms)) => {
+                let point = &job.points[index];
+                let meta = StoreMeta {
+                    kind: "store_meta",
+                    digest: digest_hex(job.digests[index]),
+                    experiment: job.name.clone(),
+                    pattern: point.pattern.clone(),
+                    algo: point.algo.clone(),
+                    load: point.load,
+                    seed: point.seed,
+                    fails: point.fails as u64,
+                    elapsed_ms,
+                };
+                if let Err(e) = self.store.insert(job.digests[index], &meta, &row) {
+                    eprintln!("serve: store write for job {job_id} point {index} failed: {e}");
+                }
+                job.slots[index] = Some(row);
+                job.executed += 1;
+            }
+            Err(error) => {
+                // Same degradation as a single-node sweep: fill the slot
+                // with a failed row so the frontier advances; cache nothing.
+                let row = failed_row(&job.points[index], job.digests[index], &error);
+                self.log(format_args!(
+                    "job {job_id} point {index} FAILED on worker: {error}"
+                ));
+                job.slots[index] = Some(row);
+                job.failed += 1;
+            }
+        }
+        self.drain_job(state, job_id);
+    }
+}
+
+/// Runs the daemon: binds `opts.addr`, then serves clients and workers
+/// until the process is killed. Never returns `Ok` — an `Err` is a bind
+/// or accept failure.
+pub fn serve(opts: &ServeOpts) -> Result<(), String> {
+    let store = Store::open(&opts.store_dir)
+        .map_err(|e| format!("cannot open store {}: {e}", opts.store_dir.display()))?;
+    let listener =
+        TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    if let Some(pf) = &opts.port_file {
+        // Write-then-rename so a watcher never reads a half-written line.
+        let tmp = pf.with_extension("tmp");
+        std::fs::write(&tmp, format!("{local}\n"))
+            .and_then(|_| std::fs::rename(&tmp, pf))
+            .map_err(|e| format!("cannot write port file {}: {e}", pf.display()))?;
+    }
+    if !opts.quiet {
+        eprintln!(
+            "serve: listening on {local} (store {}, lease {} ms)",
+            opts.store_dir.display(),
+            opts.lease_ms
+        );
+    }
+
+    let daemon = Arc::new(Daemon {
+        state: Mutex::new(State::default()),
+        store,
+        lease_ms: opts.lease_ms.max(100),
+        next_job: AtomicU64::new(1),
+        next_worker: AtomicU64::new(1),
+        next_lease: AtomicU64::new(1),
+        quiet: opts.quiet,
+    });
+
+    // Lease sweeper: reclaims points from wedged-but-connected workers.
+    {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(daemon.lease_ms / 4));
+            let now = Instant::now();
+            let mut state = daemon.state.lock();
+            let expired: Vec<u64> = state
+                .leases
+                .iter()
+                .filter(|(_, l)| l.deadline <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                daemon.requeue(&mut state, id, "lease expired");
+            }
+        });
+    }
+
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || {
+            if let Err(e) = handle_connection(&daemon, stream) {
+                daemon.log(format_args!("connection ended: {e}"));
+            }
+        });
+    }
+    Ok(())
+}
+
+fn handle_connection(daemon: &Daemon, stream: TcpStream) -> Result<(), String> {
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut writer = stream;
+    let hello = match read_frame(&mut reader) {
+        Ok(Some(f)) => f,
+        Ok(None) => return Ok(()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let role = match check_hello(&hello) {
+        Ok(r) => r,
+        Err(message) => {
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Error {
+                    message: message.clone(),
+                },
+            );
+            return Err(format!("handshake rejected: {message}"));
+        }
+    };
+    if role == ROLE_CLIENT {
+        write_frame(
+            &mut writer,
+            &Frame::HelloAck {
+                worker_id: 0,
+                lease_ms: daemon.lease_ms,
+                heartbeat_ms: daemon.lease_ms / 3,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        handle_client(daemon, reader, writer)
+    } else {
+        debug_assert_eq!(role, ROLE_WORKER);
+        let worker_id = daemon.next_worker.fetch_add(1, Ordering::Relaxed);
+        write_frame(
+            &mut writer,
+            &Frame::HelloAck {
+                worker_id,
+                lease_ms: daemon.lease_ms,
+                heartbeat_ms: daemon.lease_ms / 3,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let result = handle_worker(daemon, worker_id, reader, writer);
+        // Whatever ended this connection — clean exit, SIGKILL'd peer,
+        // network cut — its leases go straight back to the queue.
+        let mut state = daemon.state.lock();
+        daemon.requeue_worker(&mut state, worker_id, "worker disconnected");
+        result
+    }
+}
+
+fn handle_client(
+    daemon: &Daemon,
+    mut reader: TcpStream,
+    mut writer: TcpStream,
+) -> Result<(), String> {
+    let submit = match read_frame(&mut reader).map_err(|e| e.to_string())? {
+        Some(f) => f,
+        None => return Ok(()),
+    };
+    let Frame::Submit {
+        format,
+        force,
+        spec: spec_text,
+    } = submit
+    else {
+        let _ = write_frame(
+            &mut writer,
+            &Frame::Error {
+                message: "expected Submit".to_string(),
+            },
+        );
+        return Err("client sent a non-Submit frame".to_string());
+    };
+
+    // The daemon expands and digests the spec itself — a stale client
+    // cannot poison the cache with mislabeled rows.
+    let spec = match ExperimentSpec::parse(&spec_text, &format) {
+        Ok(s) => s,
+        Err(message) => {
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Error {
+                    message: message.clone(),
+                },
+            );
+            return Err(format!("rejected spec: {message}"));
+        }
+    };
+    let points = spec.expand();
+    let digests: Vec<u64> = points.iter().map(point_digest).collect();
+    let mut slots: Vec<Option<String>> = vec![None; points.len()];
+    let mut cached = 0u64;
+    if !force {
+        for (i, &d) in digests.iter().enumerate() {
+            if let Some(row) = daemon.store.lookup(d) {
+                slots[i] = Some(row);
+                cached += 1;
+            }
+        }
+    }
+
+    let job_id = daemon.next_job.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel::<Frame>();
+    daemon.log(format_args!(
+        "job {job_id} ({}): {} points, {} cached, {} to run",
+        spec.name,
+        points.len(),
+        cached,
+        points.len() as u64 - cached
+    ));
+    let total = points.len() as u64;
+    {
+        let mut state = daemon.state.lock();
+        let todo: Vec<usize> = (0..points.len()).filter(|&i| slots[i].is_none()).collect();
+        state.jobs.insert(
+            job_id,
+            Job {
+                spec_text,
+                format,
+                name: spec.name.clone(),
+                points,
+                digests,
+                slots,
+                frontier: 0,
+                cached,
+                executed: 0,
+                failed: 0,
+                client: tx,
+            },
+        );
+        for i in todo {
+            state.pending.push_back((job_id, i));
+        }
+        write_frame(
+            &mut writer,
+            &Frame::Accepted {
+                job: job_id,
+                total,
+                cached,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        // Fully cached (or empty) jobs finish inside this call.
+        daemon.drain_job(&mut state, job_id);
+    }
+
+    // Writer loop: relay committed rows until Done. A send error means
+    // the client vanished — abandon the job so workers stop burning
+    // cycles on it (their in-flight results will be dropped as stale).
+    let mut outcome = Ok(());
+    for frame in rx {
+        let done = matches!(frame, Frame::Done { .. });
+        if let Err(e) = write_frame(&mut writer, &frame) {
+            outcome = Err(format!("client write failed: {e}"));
+            break;
+        }
+        if done {
+            return Ok(());
+        }
+    }
+    let mut state = daemon.state.lock();
+    if state.jobs.remove(&job_id).is_some() {
+        state.pending.retain(|&(j, _)| j != job_id);
+        daemon.log(format_args!("job {job_id} abandoned (client went away)"));
+    }
+    outcome
+}
+
+fn handle_worker(
+    daemon: &Daemon,
+    worker_id: u64,
+    mut reader: TcpStream,
+    mut writer: TcpStream,
+) -> Result<(), String> {
+    // Jobs whose spec this worker has already received on this connection.
+    let mut specs_sent: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e.to_string()),
+        };
+        // Any traffic proves liveness: renew every lease this worker holds.
+        {
+            let mut state = daemon.state.lock();
+            let deadline = Instant::now() + Duration::from_millis(daemon.lease_ms);
+            for lease in state.leases.values_mut() {
+                if lease.worker == worker_id {
+                    lease.deadline = deadline;
+                }
+            }
+        }
+        match frame {
+            Frame::Heartbeat => {}
+            Frame::WorkRequest => {
+                // Pop under the lock, but send after releasing it: the
+                // Spec frame can be large and the socket can block.
+                let assignment = {
+                    let mut state = daemon.state.lock();
+                    match state.pending.pop_front() {
+                        None => None,
+                        Some((job_id, index)) => {
+                            let lease_id = daemon.next_lease.fetch_add(1, Ordering::Relaxed);
+                            state.leases.insert(
+                                lease_id,
+                                Lease {
+                                    job: job_id,
+                                    index,
+                                    worker: worker_id,
+                                    deadline: Instant::now()
+                                        + Duration::from_millis(daemon.lease_ms),
+                                },
+                            );
+                            let job = state.jobs.get(&job_id).expect("pending implies job");
+                            let spec = (!specs_sent.contains(&job_id))
+                                .then(|| (job.format.clone(), job.spec_text.clone()));
+                            Some((
+                                job_id,
+                                index,
+                                lease_id,
+                                digest_hex(job.digests[index]),
+                                spec,
+                            ))
+                        }
+                    }
+                };
+                match assignment {
+                    None => {
+                        write_frame(
+                            &mut writer,
+                            &Frame::NoWork {
+                                backoff_ms: (daemon.lease_ms / 20).clamp(10, 500),
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    Some((job_id, index, lease_id, digest, spec)) => {
+                        if let Some((format, spec_text)) = spec {
+                            write_frame(
+                                &mut writer,
+                                &Frame::Spec {
+                                    job: job_id,
+                                    format,
+                                    spec: spec_text,
+                                },
+                            )
+                            .map_err(|e| e.to_string())?;
+                            specs_sent.insert(job_id);
+                        }
+                        write_frame(
+                            &mut writer,
+                            &Frame::Assign {
+                                job: job_id,
+                                index: index as u64,
+                                lease: lease_id,
+                                digest,
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+            Frame::RowResult {
+                job,
+                index,
+                lease,
+                elapsed_ms,
+                row,
+            } => {
+                let mut state = daemon.state.lock();
+                daemon.finish(
+                    &mut state,
+                    lease,
+                    job,
+                    index as usize,
+                    Ok((row, elapsed_ms)),
+                );
+            }
+            Frame::FailResult {
+                job,
+                index,
+                lease,
+                error,
+            } => {
+                let mut state = daemon.state.lock();
+                daemon.finish(&mut state, lease, job, index as usize, Err(error));
+            }
+            Frame::Error { message } => {
+                return Err(format!("worker {worker_id} reported: {message}"));
+            }
+            other => {
+                daemon.log(format_args!(
+                    "worker {worker_id} sent unexpected frame {other:?}; ignoring"
+                ));
+            }
+        }
+    }
+}

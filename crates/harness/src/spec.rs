@@ -204,12 +204,167 @@ impl ExperimentSpec {
     /// Loads a spec from a `.toml` or `.json` file.
     pub fn load(path: &str) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let value = if path.ends_with(".json") {
-            parse_json(&text).map_err(|e| format!("{path}: {e}"))?
+        let format = if path.ends_with(".json") {
+            "json"
         } else {
-            parse_toml(&text).map_err(|e| format!("{path}: {e}"))?
+            "toml"
         };
-        Self::from_value(&value).map_err(|e| format!("{path}: {e}"))
+        Self::parse(&text, format).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Parses a spec from source text. `format` is `"toml"` or `"json"` —
+    /// the two encodings `hx submit` ships over the wire.
+    pub fn parse(text: &str, format: &str) -> Result<Self, String> {
+        let value = match format {
+            "json" => parse_json(text)?,
+            "toml" => parse_toml(text)?,
+            other => return Err(format!("unknown spec format {other:?} (toml or json)")),
+        };
+        Self::from_value(&value)
+    }
+
+    /// Renders the spec as a JSON document that [`ExperimentSpec::parse`]
+    /// reproduces exactly (same axes, same resolved configs, same point
+    /// digests). This is how programmatic specs — the `fig6_synthetic` /
+    /// `fault_resilience` wrappers with `--submit` — travel to an
+    /// `hx serve` daemon, which insists on expanding specs itself.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut s = String::with_capacity(1024);
+        let jstr = |out: &mut String, v: &str| serde::Serialize::to_json(v, out);
+        let jf64 = |out: &mut String, v: &f64| serde::Serialize::to_json(v, out);
+
+        s.push_str("{\"experiment\":{\"name\":");
+        jstr(&mut s, &self.name);
+        s.push_str(",\"kind\":");
+        jstr(&mut s, self.kind.as_str());
+        s.push_str(",\"description\":");
+        jstr(&mut s, &self.description);
+        let _ = write!(
+            s,
+            "}},\"network\":{{\"dims\":{},\"width\":{},\"terminals\":{}}}",
+            self.network.dims, self.network.width, self.network.terminals
+        );
+
+        s.push_str(",\"axes\":{");
+        let str_axis = |out: &mut String, key: &str, vals: &[String]| {
+            let _ = write!(out, "\"{key}\":[");
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                jstr(out, v);
+            }
+            out.push(']');
+        };
+        str_axis(&mut s, "pattern", &self.axes.patterns);
+        s.push(',');
+        str_axis(&mut s, "algo", &self.axes.algos);
+        s.push_str(",\"load\":[");
+        for (i, l) in self.axes.loads.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            jf64(&mut s, l);
+        }
+        s.push(']');
+        let int_axis = |out: &mut String, key: &str, vals: &[u64]| {
+            let _ = write!(out, ",\"{key}\":[");
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        };
+        int_axis(&mut s, "seed", &self.axes.seeds);
+        let as_u64 = |v: &[usize]| v.iter().map(|&x| x as u64).collect::<Vec<_>>();
+        int_axis(&mut s, "fails", &as_u64(&self.axes.fails));
+        int_axis(&mut s, "router_fails", &as_u64(&self.axes.router_fails));
+        int_axis(&mut s, "retransmit", &self.axes.retransmit);
+        s.push('}');
+
+        // Every [sim] key apply_sim_overrides accepts, explicitly: the
+        // resolved config survives the round trip even when it differs
+        // from SimConfig::default() in this build.
+        let c = &self.sim;
+        let _ = write!(
+            s,
+            ",\"sim\":{{\"num_vcs\":{},\"buf_flits\":{},\"crossbar_latency\":{},\
+             \"crossbar_speedup\":{},\"router_chan_latency\":{},\"short_chan_latency\":{},\
+             \"term_chan_latency\":{},\"max_packet_flits\":{},\"max_source_queue\":{},\
+             \"atomic_queue_alloc\":{},\"watchdog_stall_cycles\":{},\"max_packet_hops\":{},\
+             \"retransmit_timeout\":{},\"retransmit_max_retries\":{},\
+             \"retransmit_backoff_cap\":{},\"llr_enabled\":{},\"error_ber\":",
+            c.num_vcs,
+            c.buf_flits,
+            c.crossbar_latency,
+            c.crossbar_speedup,
+            c.router_chan_latency,
+            c.short_chan_latency,
+            c.term_chan_latency,
+            c.max_packet_flits,
+            c.max_source_queue,
+            c.atomic_queue_alloc,
+            c.watchdog_stall_cycles,
+            c.max_packet_hops,
+            c.retransmit_timeout,
+            c.retransmit_max_retries,
+            c.retransmit_backoff_cap,
+            c.llr_enabled,
+        );
+        jf64(&mut s, &c.error_ber);
+        let _ = write!(s, ",\"llr_window\":{}}}", c.llr_window);
+
+        let st = &self.steady;
+        let _ = write!(
+            s,
+            ",\"steady\":{{\"warmup_window\":{},\"max_warmup_windows\":{},\
+             \"measure_cycles\":{},\"stability_tol\":",
+            st.warmup_window, st.max_warmup_windows, st.measure_cycles
+        );
+        jf64(&mut s, &st.stability_tol);
+        s.push('}');
+
+        let f = &self.fault;
+        let _ = write!(
+            s,
+            ",\"fault\":{{\"cycles\":{},\"drain_factor\":{},\"kill_cycle\":{},\
+             \"revive_cycle\":{},\"flap_links\":{},\"flap_first\":{},\"flap_period\":{},\
+             \"flap_down_cycles\":{},\"flap_count\":{},\"degrade_links\":{},\
+             \"degrade_extra_latency\":{},\"degrade_half_bw\":{}}}",
+            f.cycles,
+            f.drain_factor,
+            f.kill_cycle,
+            f.revive_cycle,
+            f.flap_links,
+            f.flap_first,
+            f.flap_period,
+            f.flap_down_cycles,
+            f.flap_count,
+            f.degrade_links,
+            f.degrade_extra_latency,
+            f.degrade_half_bw,
+        );
+
+        if !self.overrides.is_empty() {
+            s.push_str(",\"override\":[");
+            for (i, o) in self.overrides.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"when\":");
+                Value::Table(o.when.clone()).write_json(&mut s);
+                s.push_str(",\"sim\":");
+                Value::Table(o.sim.clone()).write_json(&mut s);
+                s.push('}');
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
     }
 
     /// Builds a spec from a parsed TOML/JSON document.
@@ -1050,6 +1205,45 @@ seed = [1, 2]
              flap_period = 100\nflap_down_cycles = 20\n"
         ))
         .is_err());
+    }
+
+    /// `to_json` must survive a parse round trip with identical point
+    /// digests — it is how programmatic specs reach an `hx serve` daemon,
+    /// and a digest drift would silently split the shared cache.
+    #[test]
+    fn to_json_round_trips_with_identical_digests() {
+        let s = spec(&format!(
+            "{BASE}\n[sim]\nnum_vcs = 3\nerror_ber = 1e-7\nllr_enabled = true\nllr_window = 8\n\
+             [steady]\nwarmup_window = 128\nstability_tol = 0.025\n\
+             [[override]]\nwhen = {{ algo = \"DimWAR\" }}\n[override.sim]\nnum_vcs = 4\n"
+        ))
+        .unwrap();
+        let json = s.to_json();
+        let back = ExperimentSpec::parse(&json, "json").unwrap_or_else(|e| {
+            panic!("emitted JSON must re-parse: {e}\n{json}");
+        });
+        let a = s.expand();
+        let b = back.expand();
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(
+                crate::digest::point_digest(pa),
+                crate::digest::point_digest(pb),
+                "digest drift at {}/{} load {} seed {}",
+                pa.pattern,
+                pa.algo,
+                pa.load,
+                pa.seed
+            );
+        }
+        assert_eq!(back.axes.seeds, s.axes.seeds);
+        assert_eq!(back.sim.num_vcs, 3);
+        assert_eq!(back.overrides.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_format() {
+        assert!(ExperimentSpec::parse("{}", "yaml").is_err());
     }
 
     #[test]

@@ -147,9 +147,14 @@ impl Store {
     /// Atomically writes an entry: meta row + verbatim result row.
     pub fn insert(&self, digest: u64, meta: &StoreMeta, row: &str) -> std::io::Result<()> {
         debug_assert!(!row.contains('\n'), "result row must be a single line");
+        // pid alone is not unique enough: the serve daemon inserts from
+        // many threads of one process, and two workers finishing the same
+        // digest must not interleave writes into one temp file.
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let final_path = self.path_for(digest);
         let tmp_path = self.dir.join(format!(
-            ".tmp.{}.{}",
+            ".tmp.{}.{}.{seq}",
             digest_hex(digest),
             std::process::id()
         ));
@@ -196,6 +201,26 @@ impl Store {
         }
         out.sort_by_key(|e| e.digest);
         Ok(out)
+    }
+
+    /// Counts the store's non-entry debris: `(corrupt, tmp)` — quarantined
+    /// corrupt entries awaiting `hx gc`, and temp files orphaned by a
+    /// writer killed between create and rename. Neither is ever read back
+    /// (lookups go by final name only), so debris is harmless — but an
+    /// operator watching a shared cache under the daemon wants the counts.
+    pub fn debris(&self) -> std::io::Result<(usize, usize)> {
+        let mut corrupt = 0;
+        let mut tmp = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".corrupt.") {
+                corrupt += 1;
+            } else if name.starts_with(".tmp.") {
+                tmp += 1;
+            }
+        }
+        Ok((corrupt, tmp))
     }
 
     /// Removes every entry whose digest is not in `keep`. With `dry_run`,
@@ -347,6 +372,54 @@ mod tests {
         assert_eq!(s.lookup(12), None);
         assert!(stale.exists(), "stale schema must not be quarantined");
         assert_eq!(corrupt_files(&s).len(), 1);
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    /// A writer killed between temp-file create and rename (simulated by
+    /// doing the write half of `insert` by hand and "dying" before the
+    /// rename) must leave the entry slot empty — a plain miss, with no
+    /// `.corrupt.*` quarantine file — because the half-written bytes never
+    /// reached the final name. The orphaned temp file shows up in
+    /// `debris()` and a retried insert is oblivious to it.
+    #[test]
+    fn mid_write_kill_leaves_no_corrupt_entry() {
+        let s = tmp_store("midwrite");
+        let tmp = s
+            .dir()
+            .join(format!(".tmp.{}.{}.0", digest_hex(21), std::process::id()));
+        std::fs::write(&tmp, "{\"schema_version\":1,\"kind\":\"store_m").unwrap();
+        // died here: no rename.
+        assert_eq!(s.lookup(21), None, "half-written entry must miss");
+        assert!(
+            corrupt_files(&s).is_empty(),
+            "a miss on a never-renamed entry must not quarantine anything"
+        );
+        assert_eq!(s.debris().unwrap(), (0, 1));
+        let row = format!("{{\"schema_version\":{}}}", hxsim::SCHEMA_VERSION);
+        s.insert(21, &meta("t", 21), &row).unwrap();
+        assert_eq!(s.lookup(21).as_deref(), Some(row.as_str()));
+        assert!(corrupt_files(&s).is_empty());
+        // gc clears the orphan.
+        let keep: HashSet<u64> = [21u64].into_iter().collect();
+        s.gc(&keep, false).unwrap();
+        assert_eq!(s.debris().unwrap(), (0, 0));
+        assert!(s.lookup(21).is_some());
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    /// Concurrent inserts of the *same digest* from one process must not
+    /// share a temp file (the daemon's threads race exactly like this).
+    #[test]
+    fn concurrent_same_digest_inserts_are_isolated() {
+        let s = tmp_store("tmpnames");
+        let row = format!("{{\"schema_version\":{}}}", hxsim::SCHEMA_VERSION);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| s.insert(33, &meta("t", 33), &row).unwrap());
+            }
+        });
+        assert_eq!(s.lookup(33).as_deref(), Some(row.as_str()));
+        assert_eq!(s.debris().unwrap(), (0, 0), "every temp file was renamed");
         std::fs::remove_dir_all(s.dir()).ok();
     }
 

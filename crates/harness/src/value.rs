@@ -77,6 +77,49 @@ impl Value {
     pub fn get_path(&self, path: &str) -> Option<&Value> {
         path.split('.').try_fold(self, |v, k| v.get(k))
     }
+
+    /// Appends `self` as JSON. Strings escape through the same encoder as
+    /// result rows; floats use the shortest round-trip form, so
+    /// `parse_json(v.to_json_string())` reproduces `v` exactly — the
+    /// property `hx submit` relies on when a spec crosses the wire as
+    /// JSON (`ExperimentSpec::to_json`).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => serde::Serialize::to_json(s.as_str(), out),
+            Value::Int(i) => serde::Serialize::to_json(i, out),
+            Value::Float(x) => serde::Serialize::to_json(x, out),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Table(t) => {
+                out.push('{');
+                for (i, (k, v)) in t.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::Serialize::to_json(k.as_str(), out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// JSON rendering of `self` (see [`Value::write_json`]).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
 }
 
 impl fmt::Display for Value {

@@ -1,0 +1,326 @@
+//! End-to-end tests for the distributed sweep service: a real `hx serve`
+//! daemon and real `hx work` / `hx submit` processes (spawned via
+//! `CARGO_BIN_EXE_hx`) over loopback TCP.
+//!
+//! The invariants pinned here are the acceptance criteria of the
+//! subsystem:
+//!
+//! * a distributed sweep's merged JSONL is **byte-identical** to a
+//!   single-node `run_sweep` of the same spec;
+//! * a second submission from a fresh client process is answered 100%
+//!   from the shared store;
+//! * a worker SIGKILLed while holding a lease (connection drops) and a
+//!   worker that stalls while staying connected (lease expires) both
+//!   have their points reclaimed, with no duplicate or reordered rows.
+
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use hxharness::spec::Axes;
+use hxharness::{run_sweep, ExperimentSpec, Kind, NetworkSpec, SweepOpts};
+use hxsim::{SimConfig, SteadyOpts};
+
+const HX: &str = env!("CARGO_BIN_EXE_hx");
+
+const SPEC_TOML: &str = r#"
+[experiment]
+name = "serve_e2e"
+kind = "steady"
+
+[network]
+dims = 2
+width = 2
+terminals = 1
+
+[axes]
+pattern = ["UR"]
+algo = ["DOR", "DimWAR"]
+load = [0.1, 0.2]
+seed = [1]
+
+[steady]
+warmup_window = 200
+max_warmup_windows = 3
+measure_cycles = 400
+"#;
+
+/// The same sweep, as the in-process golden reference.
+fn golden_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "serve_e2e".to_string(),
+        kind: Kind::Steady,
+        description: String::new(),
+        network: NetworkSpec {
+            dims: 2,
+            width: 2,
+            terminals: 1,
+        },
+        axes: Axes {
+            patterns: vec!["UR".to_string()],
+            algos: vec!["DOR".to_string(), "DimWAR".to_string()],
+            loads: vec![0.1, 0.2],
+            seeds: vec![1],
+            fails: vec![0],
+            router_fails: vec![0],
+            retransmit: vec![0],
+        },
+        sim: SimConfig {
+            tick_threads: 1,
+            ..SimConfig::default()
+        },
+        steady: SteadyOpts {
+            warmup_window: 200,
+            max_warmup_windows: 3,
+            measure_cycles: 400,
+            ..SteadyOpts::default()
+        },
+        fault: Default::default(),
+        overrides: Vec::new(),
+    }
+}
+
+struct TmpDir(PathBuf);
+
+impl TmpDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("hx_serve_test_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TmpDir(p)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TmpDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Kills the child on drop so a failed assertion never leaks daemons.
+struct Guard(Child);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+fn spawn_daemon(tmp: &TmpDir, lease_ms: u64) -> (Guard, String) {
+    let port_file = tmp.path("port");
+    let child = Command::new(HX)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--store",
+            tmp.path("store").to_str().unwrap(),
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--lease-ms",
+            &lease_ms.to_string(),
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hx serve");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    // The daemon binds before writing the file, so this connects.
+    TcpStream::connect(&addr).expect("daemon must be accepting");
+    (Guard(child), addr)
+}
+
+fn spawn_worker(addr: &str, extra: &[&str]) -> Guard {
+    let mut args = vec!["work", "--addr", addr, "--threads", "1", "--quiet"];
+    args.extend_from_slice(extra);
+    Guard(
+        Command::new(HX)
+            .args(&args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn hx work"),
+    )
+}
+
+fn submit_args(spec: &Path, addr: &str, out: &Path) -> Vec<String> {
+    [
+        "submit",
+        spec.to_str().unwrap(),
+        "--addr",
+        addr,
+        "--out",
+        out.to_str().unwrap(),
+        "--quiet",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn wait_with_timeout(child: &mut Child, secs: u64, what: &str) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} did not finish in {secs}s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn golden(tmp: &TmpDir) -> String {
+    let out = tmp.path("golden.jsonl");
+    let report = run_sweep(
+        &golden_spec(),
+        None,
+        Some(&out),
+        &SweepOpts {
+            tick_threads: 1,
+            ..SweepOpts::default()
+        },
+    )
+    .expect("golden sweep");
+    assert!(report.complete && report.failed.is_empty());
+    std::fs::read_to_string(&out).unwrap()
+}
+
+fn read(p: &Path) -> String {
+    std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+#[test]
+fn distributed_sweep_is_byte_identical_and_second_submit_all_cached() {
+    let tmp = TmpDir::new("basic");
+    let spec_path = tmp.path("spec.toml");
+    std::fs::write(&spec_path, SPEC_TOML).unwrap();
+    let want = golden(&tmp);
+
+    let (_daemon, addr) = spawn_daemon(&tmp, 10_000);
+    let _w1 = spawn_worker(&addr, &[]);
+    let _w2 = spawn_worker(&addr, &[]);
+
+    let out1 = tmp.path("out1.jsonl");
+    let status = Command::new(HX)
+        .args(submit_args(&spec_path, &addr, &out1))
+        .status()
+        .expect("run hx submit");
+    assert!(status.success(), "first submit failed: {status}");
+    assert_eq!(
+        read(&out1),
+        want,
+        "distributed output must be byte-identical to single-node"
+    );
+
+    // Fresh client process; every point must come from the shared store.
+    let out2 = tmp.path("out2.jsonl");
+    let mut args = submit_args(&spec_path, &addr, &out2);
+    args.push("--expect-cached".to_string());
+    let output = Command::new(HX)
+        .args(&args)
+        .output()
+        .expect("second submit");
+    assert!(
+        output.status.success(),
+        "--expect-cached submit failed:\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("4 points, 4 cached, 0 executed"),
+        "expected an all-cached report, got: {stdout}"
+    );
+    assert_eq!(read(&out2), want);
+}
+
+#[test]
+fn sigkilled_worker_lease_is_reclaimed_via_disconnect() {
+    let tmp = TmpDir::new("sigkill");
+    let spec_path = tmp.path("spec.toml");
+    std::fs::write(&spec_path, SPEC_TOML).unwrap();
+    let want = golden(&tmp);
+
+    let (_daemon, addr) = spawn_daemon(&tmp, 60_000);
+    // Slow worker: claims a point, then sleeps 60 s before executing it
+    // (heartbeating all the while) — a stable SIGKILL target. The long
+    // lease guarantees only the disconnect path can reclaim its point.
+    let mut slow = spawn_worker(&addr, &["--slow-ms", "60000"]);
+
+    let out = tmp.path("out.jsonl");
+    let mut submit = Command::new(HX)
+        .args(submit_args(&spec_path, &addr, &out))
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn hx submit");
+
+    // Let the slow worker claim its lease, then SIGKILL it mid-point.
+    std::thread::sleep(Duration::from_millis(1_000));
+    slow.0.kill().expect("SIGKILL slow worker");
+    slow.0.wait().ok();
+
+    // A healthy worker arrives only now: every row it produces for the
+    // reclaimed point flows through the same commit frontier.
+    let _w = spawn_worker(&addr, &[]);
+    let status = wait_with_timeout(&mut submit, 120, "submit after SIGKILL");
+    assert!(status.success(), "submit failed: {status}");
+    assert_eq!(
+        read(&out),
+        want,
+        "reclaimed sweep must stay byte-identical — no dup/missing/reordered rows"
+    );
+}
+
+#[test]
+fn stalled_worker_lease_expires_and_is_reclaimed() {
+    let tmp = TmpDir::new("stall");
+    let spec_path = tmp.path("spec.toml");
+    std::fs::write(&spec_path, SPEC_TOML).unwrap();
+    let want = golden(&tmp);
+
+    // Short lease: the sweeper must reclaim a silent-but-connected
+    // worker's point within ~2 lease periods.
+    let (_daemon, addr) = spawn_daemon(&tmp, 1_200);
+    // Stalls on its first assignment: keeps the TCP connection open but
+    // stops heartbeating and never executes — only lease expiry can
+    // recover this point.
+    let _stalled = spawn_worker(&addr, &["--stall-after", "0"]);
+
+    let out = tmp.path("out.jsonl");
+    let mut submit = Command::new(HX)
+        .args(submit_args(&spec_path, &addr, &out))
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn hx submit");
+
+    // Give the stalled worker time to claim its lease, then add a
+    // healthy worker to drain the sweep (including the expired lease).
+    std::thread::sleep(Duration::from_millis(800));
+    let _w = spawn_worker(&addr, &[]);
+    let status = wait_with_timeout(&mut submit, 120, "submit with stalled worker");
+    assert!(status.success(), "submit failed: {status}");
+    assert_eq!(read(&out), want);
+}
